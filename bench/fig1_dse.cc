@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 1: approximation design-space exploration.
+ *
+ * Odd rows (per application): the execution-time vs inaccuracy
+ * scatter — measured live for the 12 real kernels, and the calibrated
+ * catalog curve plus dominated cloud for all 24 paper applications.
+ * Even rows: the tail latency (relative to QoS) of each *selected*
+ * variant when statically colocated with each interactive service.
+ */
+
+#include <iostream>
+
+#include "approx/profile.hh"
+#include "colo/experiment.hh"
+#include "dse/explore.hh"
+#include "util/table.hh"
+
+using namespace pliant;
+
+namespace {
+
+void
+exploreRealKernels()
+{
+    std::cout << "--- Measured design space of the 15 real kernels "
+                 "(odd rows, live measurement) ---\n\n";
+    dse::ExploreOptions opts;
+    opts.repetitions = 3;
+    for (const auto &entry : kernels::kernelRegistry()) {
+        auto kernel = entry.make(42);
+        const dse::ExploreResult res = dse::exploreKernel(*kernel, opts);
+        std::cout << "[" << res.app << "] precise "
+                  << util::fmt(res.preciseMs, 2) << " ms, "
+                  << res.points.size() << " variants examined, "
+                  << res.selectedOrder.size()
+                  << " selected (<=5% inaccuracy, pareto)\n";
+        util::TextTable t(
+            {"variant", "time(norm)", "inaccuracy", "selected"});
+        for (const auto &pt : res.points) {
+            t.addRow({pt.knobs.describe(), util::fmt(pt.timeNorm, 3),
+                      util::fmtPct(pt.inaccuracy, 2),
+                      pt.selected ? "PARETO" : ""});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+}
+
+void
+staticColocationRows()
+{
+    std::cout << "--- Tail latency vs QoS per selected variant "
+                 "(even rows) ---\n";
+    std::cout << "Each cell: steady-state p99 / QoS when the app runs "
+                 "the given variant for the whole colocation.\n\n";
+    const services::ServiceKind kinds[] = {
+        services::ServiceKind::Nginx,
+        services::ServiceKind::Memcached,
+        services::ServiceKind::MongoDb,
+    };
+    for (const auto &prof : approx::catalog()) {
+        std::cout << "[" << prof.name << "] ("
+                  << approx::suiteName(prof.suite) << ", "
+                  << prof.mostApproxIndex() << " approx variants)\n";
+        std::vector<std::string> header{"variant"};
+        for (auto kind : kinds)
+            header.push_back(services::serviceName(kind));
+        util::TextTable t(header);
+        for (const auto &v : prof.variants) {
+            std::vector<std::string> row{v.isPrecise() ? "precise"
+                                                       : v.label};
+            for (auto kind : kinds) {
+                colo::ColoConfig cfg;
+                cfg.service = kind;
+                cfg.apps = {prof.name};
+                cfg.runtime = core::RuntimeKind::Precise;
+                cfg.initialVariants = {v.index};
+                cfg.maxDuration = 30 * sim::kSecond;
+                cfg.seed = 7;
+                colo::ColocationExperiment exp(cfg);
+                const colo::ColoResult r = exp.run();
+                row.push_back(
+                    util::fmt(r.steadyP99Us / r.qosUs, 2) + "x");
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Figure 1: Approximation design-space "
+                 "exploration ===\n\n";
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    exploreRealKernels();
+    if (!quick)
+        staticColocationRows();
+    return 0;
+}

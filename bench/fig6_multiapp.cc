@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 6: multi-application colocation timelines — canneal and
+ * bayesian sharing a server with each interactive service under the
+ * round-robin arbiter.
+ */
+
+#include <iostream>
+
+#include "colo/experiment.hh"
+#include "util/histogram.hh"
+#include "util/table.hh"
+
+using namespace pliant;
+
+namespace {
+
+void
+multiTimeline(services::ServiceKind kind)
+{
+    colo::ColoConfig cfg;
+    cfg.service = kind;
+    cfg.apps = {"canneal", "bayesian"};
+    cfg.runtime = core::RuntimeKind::Pliant;
+    cfg.seed = 29;
+    colo::ColocationExperiment exp(cfg);
+    const colo::ColoResult r = exp.run();
+
+    std::cout << "[" << r.service
+              << " + canneal (4 approx) + bayesian (8 approx)]  QoS "
+              << util::fmt(r.qosUs / 1000.0, 2) << " ms\n";
+    util::TextTable t({"t(s)", "p99/QoS", "canneal var",
+                       "canneal cores", "bayesian var",
+                       "bayesian cores", "decision"});
+    std::vector<double> series;
+    for (const auto &tp : r.timeline) {
+        series.push_back(tp.p99Us);
+        t.addRow({util::fmt(sim::toSeconds(tp.t), 0),
+                  util::fmt(tp.p99Us / r.qosUs, 2) + "x",
+                  "v" + std::to_string(tp.variantOf[0]),
+                  std::to_string(tp.reclaimed[0]),
+                  "v" + std::to_string(tp.variantOf[1]),
+                  std::to_string(tp.reclaimed[1]),
+                  core::decisionName(tp.decision.kind)});
+    }
+    t.print(std::cout);
+    std::cout << "p99 over time: " << util::sparkline(series) << '\n';
+    for (const auto &app : r.apps) {
+        std::cout << app.name << ": inaccuracy "
+                  << util::fmtPct(app.inaccuracy, 1)
+                  << ", rel exec time "
+                  << util::fmt(app.relativeExecTime, 2)
+                  << ", max cores reclaimed " << app.maxCoresReclaimed
+                  << '\n';
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 6: Multi-application colocations "
+                 "(canneal + bayesian) ===\n\n";
+    for (auto kind : {services::ServiceKind::Nginx,
+                      services::ServiceKind::Memcached,
+                      services::ServiceKind::MongoDb})
+        multiTimeline(kind);
+    return 0;
+}

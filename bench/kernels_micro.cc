@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the real approximate kernels:
+ * wall time of precise execution vs representative approximate
+ * variants (supporting data for Fig. 1's odd rows).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.hh"
+
+namespace {
+
+using pliant::kernels::Knobs;
+using pliant::kernels::Precision;
+
+void
+runKernel(benchmark::State &state, const std::string &name,
+          const Knobs &knobs)
+{
+    auto kernel = pliant::kernels::makeKernel(name, 42);
+    // Warm the precise reference outside the timed region.
+    kernel->run(Knobs{});
+    double inaccuracy = 0.0;
+    for (auto _ : state) {
+        const auto res = kernel->run(knobs);
+        inaccuracy = res.inaccuracy;
+        benchmark::DoNotOptimize(res.outputMetric);
+    }
+    state.counters["inaccuracy_pct"] = 100.0 * inaccuracy;
+}
+
+void
+registerAll()
+{
+    const struct
+    {
+        const char *suffix;
+        Knobs knobs;
+    } variants[] = {
+        {"precise", Knobs{}},
+        {"p2", Knobs{2, Precision::Double, false}},
+        {"p4", Knobs{4, Precision::Double, false}},
+        {"p4_float", Knobs{4, Precision::Float, false}},
+    };
+    for (const auto &entry : pliant::kernels::kernelRegistry()) {
+        for (const auto &v : variants) {
+            const std::string label = entry.name + "/" + v.suffix;
+            benchmark::RegisterBenchmark(
+                label.c_str(),
+                [name = entry.name, knobs = v.knobs](
+                    benchmark::State &st) {
+                    runKernel(st, name, knobs);
+                })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Working with the real approximate kernels directly: run the
+ * design-space exploration on a kernel, inspect the pareto-selected
+ * variants, and drive the winning variants through the dynamic
+ * replacement (signal -> function switch) machinery, exactly the way
+ * Pliant's actuator does it.
+ */
+
+#include <iostream>
+
+#include "dse/explore.hh"
+#include "dynrec/instrumented.hh"
+#include "kernels/kernel.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace pliant;
+
+    std::cout << "Exploring the k-means kernel's approximation "
+                 "design space\n\n";
+
+    auto kernel = kernels::makeKernel("kmeans", /*seed=*/99);
+    dse::ExploreOptions opts;
+    opts.inaccuracyBudget = 0.05; // the paper's 5% threshold
+    const dse::ExploreResult res = dse::exploreKernel(*kernel, opts);
+
+    util::TextTable t({"knobs", "time (norm)", "inaccuracy", ""});
+    for (const auto &pt : res.points) {
+        t.addRow({pt.knobs.describe(), util::fmt(pt.timeNorm, 3),
+                  util::fmtPct(pt.inaccuracy, 2),
+                  pt.selected ? "<- selected" : ""});
+    }
+    t.print(std::cout);
+
+    // Convert the selection into the ordered variant list a runtime
+    // consumes (variant 0 = precise).
+    const auto variants = dse::toVariants(res);
+    std::cout << "\nOrdered variant list for the runtime: ";
+    for (const auto &v : variants)
+        std::cout << v.label << " ";
+    std::cout << "\n\n";
+
+    // Drive a kernel through the dynamic-replacement path: each knob
+    // setting is one dispatch-table entry mapped to a virtual signal.
+    std::cout << "Switching variants through signals "
+                 "(drwrap_replace substitute):\n";
+    dynrec::InstrumentedKernel ik(kernels::makeKernel("kmeans", 99));
+    const auto precise = ik.invoke();
+    std::cout << "  variant " << ik.activeVariant() << " (precise): "
+              << util::fmt(precise.elapsedMs, 2) << " ms\n";
+    const int most = ik.variantCount() - 1;
+    ik.raiseSignal(ik.signalFor(most));
+    const auto approx = ik.invoke();
+    std::cout << "  signal " << ik.signalFor(most) << " -> variant "
+              << ik.activeVariant() << " ("
+              << ik.knobsOf(most).describe()
+              << "): " << util::fmt(approx.elapsedMs, 2)
+              << " ms, inaccuracy " << util::fmtPct(approx.inaccuracy, 2)
+              << "\n";
+    ik.raiseSignal(ik.signalFor(0));
+    std::cout << "  signal " << ik.signalFor(0)
+              << " -> back to precise (switches performed: "
+              << ik.switchCount() << ")\n";
+    return 0;
+}

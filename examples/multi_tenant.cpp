@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-tenant scenario: NGINX colocated with three approximate
+ * applications at once, comparing the paper's round-robin arbiter
+ * against the impact-aware extension (Section 6.5), and showing the
+ * per-app sacrifice breakdown.
+ */
+
+#include <iostream>
+
+#include "colo/experiment.hh"
+#include "util/table.hh"
+
+namespace {
+
+pliant::colo::ColoResult
+runWith(pliant::core::ArbiterKind arbiter)
+{
+    pliant::colo::ColoConfig cfg;
+    cfg.service = pliant::services::ServiceKind::Nginx;
+    cfg.apps = {"canneal", "bayesian", "snp"};
+    cfg.runtime = pliant::core::RuntimeKind::Pliant;
+    cfg.arbiter = arbiter;
+    cfg.seed = 7777;
+    pliant::colo::ColocationExperiment exp(cfg);
+    return exp.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pliant;
+
+    std::cout << "Multi-tenant: nginx + {canneal, bayesian, snp}\n\n";
+
+    for (auto arbiter : {core::ArbiterKind::RoundRobin,
+                         core::ArbiterKind::ImpactAware}) {
+        const colo::ColoResult r = runWith(arbiter);
+        std::cout << "--- "
+                  << (arbiter == core::ArbiterKind::RoundRobin
+                          ? "round-robin arbiter (paper Section 4.4)"
+                          : "impact-aware arbiter (Section 6.5 "
+                            "extension)")
+                  << " ---\n";
+        std::cout << "nginx p99 (interval mean): "
+                  << util::fmt(r.meanIntervalP99Us / 1000.0, 2)
+                  << " ms (QoS " << util::fmt(r.qosUs / 1000.0, 1)
+                  << " ms), intervals meeting QoS "
+                  << util::fmtPct(r.qosMetFraction, 0) << "\n";
+        util::TextTable t({"app", "inaccuracy", "rel exec time",
+                           "variant switches", "max cores yielded"});
+        for (const auto &app : r.apps) {
+            t.addRow({app.name, util::fmtPct(app.inaccuracy, 2),
+                      util::fmt(app.relativeExecTime, 2),
+                      std::to_string(app.switches),
+                      std::to_string(app.maxCoresReclaimed)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "Round-robin spreads the quality loss evenly; the\n"
+                 "impact-aware arbiter leans on the app whose\n"
+                 "approximation buys the most contention relief per\n"
+                 "unit of quality (here SNP), sparing the others.\n";
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Command-line driver: run any colocation from the shell and export
+ * CSV traces, the way a downstream user scripts parameter studies.
+ *
+ * Usage:
+ *   pliant_cli [--service nginx|memcached|mongodb]
+ *              [--apps canneal,bayesian,...]
+ *              [--runtime precise|pliant|learned]
+ *              [--load 0.78] [--interval-s 1.0] [--seed 1]
+ *              [--cache-partitioning] [--csv timeline|summary]
+ *              [--list-apps]
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "approx/profile.hh"
+#include "colo/experiment.hh"
+#include "colo/trace.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pliant;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--service nginx|memcached|mongodb]"
+           " [--apps a,b,...] [--runtime precise|pliant|learned]"
+           " [--load F] [--interval-s S] [--seed N]"
+           " [--cache-partitioning] [--csv timeline|summary]"
+           " [--list-apps]\n";
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCsvList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    colo::ColoConfig cfg;
+    cfg.apps = {"canneal"};
+    std::string csv_mode;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--service") {
+            const std::string s = next();
+            if (s == "nginx")
+                cfg.service = services::ServiceKind::Nginx;
+            else if (s == "memcached")
+                cfg.service = services::ServiceKind::Memcached;
+            else if (s == "mongodb")
+                cfg.service = services::ServiceKind::MongoDb;
+            else
+                usage(argv[0]);
+        } else if (arg == "--apps") {
+            cfg.apps = splitCsvList(next());
+        } else if (arg == "--runtime") {
+            const std::string r = next();
+            if (r == "precise")
+                cfg.runtime = core::RuntimeKind::Precise;
+            else if (r == "pliant")
+                cfg.runtime = core::RuntimeKind::Pliant;
+            else if (r == "learned")
+                cfg.runtime = core::RuntimeKind::Learned;
+            else
+                usage(argv[0]);
+        } else if (arg == "--load") {
+            cfg.loadFraction = std::stod(next());
+        } else if (arg == "--interval-s") {
+            cfg.decisionInterval = sim::fromSeconds(std::stod(next()));
+        } else if (arg == "--seed") {
+            cfg.seed = std::stoull(next());
+        } else if (arg == "--cache-partitioning") {
+            cfg.enableCachePartitioning = true;
+        } else if (arg == "--csv") {
+            csv_mode = next();
+        } else if (arg == "--list-apps") {
+            for (const auto &name : approx::catalogNames())
+                std::cout << name << '\n';
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    try {
+        colo::ColocationExperiment exp(cfg);
+        const colo::ColoResult r = exp.run();
+
+        if (csv_mode == "timeline") {
+            colo::writeTimelineCsv(std::cout, r);
+            return 0;
+        }
+        if (csv_mode == "summary") {
+            colo::writeSummaryCsv(std::cout, r);
+            return 0;
+        }
+
+        std::cout << r.service << " + ";
+        for (std::size_t i = 0; i < r.apps.size(); ++i)
+            std::cout << (i ? "+" : "") << r.apps[i].name;
+        std::cout << " under " << r.runtime << " runtime\n\n";
+        util::TextTable t({"metric", "value"});
+        t.addRow({"QoS target", util::fmt(r.qosUs / 1000.0, 3) + " ms"});
+        t.addRow({"steady p99 / QoS",
+                  util::fmt(r.steadyP99Us / r.qosUs, 2) + "x"});
+        t.addRow({"interval-mean p99 / QoS",
+                  util::fmt(r.meanIntervalP99Us / r.qosUs, 2) + "x"});
+        t.addRow({"intervals meeting QoS",
+                  util::fmtPct(r.qosMetFraction, 0)});
+        t.addRow({"cores reclaimed (max/typical)",
+                  std::to_string(r.maxCoresReclaimedTotal) + " / " +
+                      std::to_string(r.typicalCoresReclaimed)});
+        t.addRow({"LLC ways isolated (max)",
+                  std::to_string(r.maxPartitionWays)});
+        for (const auto &app : r.apps) {
+            t.addRow({app.name + " inaccuracy",
+                      util::fmtPct(app.inaccuracy, 2)});
+            t.addRow({app.name + " rel. exec time",
+                      util::fmt(app.relativeExecTime, 2)});
+        }
+        t.print(std::cout);
+    } catch (const util::FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

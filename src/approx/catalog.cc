@@ -1,0 +1,337 @@
+/**
+ * @file
+ * The 24-application catalog.
+ *
+ * Each entry encodes, per application: the variant count and the
+ * shape of its time/inaccuracy curve from Fig. 1 of the paper, the
+ * qualitative resource behaviour the paper describes (e.g. canneal's
+ * approximation gives little contention relief, SNP's sync-elision
+ * variants are particularly effective at reducing LLC contention,
+ * water_spatial's variants form an almost vertical line), and the
+ * nominal execution times visible in Fig. 4's timelines.
+ */
+
+#include "approx/profile.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace approx {
+
+std::string
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Parsec:
+        return "PARSEC";
+      case Suite::Splash2:
+        return "SPLASH-2";
+      case Suite::MineBench:
+        return "MineBench";
+      case Suite::BioPerf:
+        return "BioPerf";
+    }
+    return "unknown";
+}
+
+const ApproxVariant &
+AppProfile::variant(int idx) const
+{
+    if (idx < 0 || idx >= static_cast<int>(variants.size()))
+        util::panic("variant index ", idx, " out of range for ", name);
+    return variants[static_cast<std::size_t>(idx)];
+}
+
+std::string
+validateVariants(const std::vector<ApproxVariant> &variants)
+{
+    if (variants.empty())
+        return "variant list is empty";
+    if (variants.front().index != 0 ||
+        variants.front().execTimeNorm != 1.0 ||
+        variants.front().inaccuracy != 0.0)
+        return "variant 0 must be precise (index 0, time 1.0, inacc 0)";
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &v = variants[i];
+        if (v.index != static_cast<int>(i))
+            return "variant indices must be contiguous";
+        if (v.execTimeNorm <= 0)
+            return "execTimeNorm must be positive";
+        if (v.inaccuracy < 0 || v.inaccuracy > 1)
+            return "inaccuracy must be in [0, 1]";
+        if (v.computeScale <= 0 || v.computeScale > 1 ||
+            v.llcScale <= 0 || v.llcScale > 1 ||
+            v.membwScale <= 0 || v.membwScale > 1)
+            return "pressure scales must be in (0, 1]";
+        if (i > 0 && v.inaccuracy < variants[i - 1].inaccuracy)
+            return "inaccuracy must be non-decreasing";
+    }
+    return "";
+}
+
+namespace {
+
+/**
+ * Build an ordered variant list from curve parameters.
+ *
+ * @param count number of approximate variants (excluding precise).
+ * @param max_inacc inaccuracy of the most approximate variant.
+ * @param time_at_max execTimeNorm of the most approximate variant.
+ * @param relief_at_max 1 - pressure scale (LLC/membw) at most approx.
+ * @param curvature >1 makes early variants cheap in inaccuracy.
+ */
+std::vector<ApproxVariant>
+makeVariants(int count, double max_inacc, double time_at_max,
+             double relief_at_max, double curvature = 1.0,
+             double compute_relief_at_max = 0.15)
+{
+    std::vector<ApproxVariant> out;
+    ApproxVariant precise;
+    precise.index = 0;
+    precise.label = "precise";
+    out.push_back(precise);
+
+    for (int i = 1; i <= count; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(count);
+        const double shaped = std::pow(frac, curvature);
+        ApproxVariant v;
+        v.index = i;
+        v.label = "v" + std::to_string(i);
+        v.inaccuracy = max_inacc * frac;
+        v.execTimeNorm = 1.0 - (1.0 - time_at_max) * shaped;
+        const double relief = relief_at_max * shaped;
+        v.llcScale = 1.0 - relief;
+        v.membwScale = 1.0 - relief;
+        v.computeScale = 1.0 - compute_relief_at_max * shaped;
+        out.push_back(v);
+    }
+    return out;
+}
+
+AppProfile
+make(const std::string &name, Suite suite, double exec_s,
+     PressureVector pressure, std::vector<ApproxVariant> variants,
+     PhasePattern phases = PhasePattern::Steady,
+     double dynrec = 0.038, double sync_noise = 0.0)
+{
+    AppProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.nominalExecSeconds = exec_s;
+    p.precisePressure = pressure;
+    p.variants = std::move(variants);
+    p.phases = phases;
+    p.dynrecOverhead = dynrec;
+    p.syncElisionNoise = sync_noise;
+    const std::string err = validateVariants(p.variants);
+    if (!err.empty())
+        util::panic("catalog entry ", name, ": ", err);
+    return p;
+}
+
+std::vector<AppProfile>
+buildCatalog()
+{
+    std::vector<AppProfile> c;
+
+    // ------------------------------------------------------------ PARSEC
+    // fluidanimate: compute-bound SPH; approximation nearly free in
+    // quality (Fig. 5 labels it 0.0% inaccuracy).
+    c.push_back(make("fluidanimate", Suite::Parsec, 35.0,
+                     {0.95, 20.0, 13.5, 0.0},
+                     makeVariants(3, 0.004, 0.70, 0.40, 1.2),
+                     PhasePattern::Steady, 0.021));
+
+    // canneal: cache-hostile pointer chasing; 4 variants; its
+    // approximation yields little contention relief, so cores must be
+    // reclaimed when colocated with memcached; sync elision adds
+    // nondeterministic quality noise (the 5.4% outlier).
+    c.push_back(make("canneal", Suite::Parsec, 40.0,
+                     {0.80, 48.0, 25.5, 0.0},
+                     makeVariants(4, 0.034, 0.55, 0.22, 1.0),
+                     PhasePattern::Steady, 0.041, 0.02));
+
+    // streamcluster: memory-bandwidth heavy; approximation reduces the
+    // streaming traffic substantially.
+    c.push_back(make("streamcluster", Suite::Parsec, 45.0,
+                     {0.90, 28.0, 33.0, 0.0},
+                     makeVariants(5, 0.041, 0.45, 0.55, 1.1),
+                     PhasePattern::Steady, 0.052));
+
+    // --------------------------------------------------------- SPLASH-2
+    // water_nsquared: all-pairs MD; decent relief from perforation.
+    c.push_back(make("water_nsquared", Suite::Splash2, 38.0,
+                     {0.95, 16.0, 18.0, 0.0},
+                     makeVariants(4, 0.017, 0.50, 0.40, 1.0),
+                     PhasePattern::Steady, 0.033));
+
+    // water_spatial: variants form an almost vertical line — quality
+    // varies but execution time barely improves; also the highest
+    // DynamoRIO overhead (8.9%), making it the one app whose
+    // execution time degrades under Pliant (Fig. 5).
+    c.push_back(make("water_spatial", Suite::Splash2, 36.0,
+                     {0.92, 18.0, 16.5, 0.0},
+                     makeVariants(5, 0.050, 0.93, 0.28, 1.0),
+                     PhasePattern::Steady, 0.089));
+
+    // raytrace: only 2 selected variants; interferes heavily only in
+    // certain phases; tiny quality loss (0.2%).
+    c.push_back(make("raytrace", Suite::Splash2, 25.0,
+                     {0.85, 32.0, 15.0, 0.0},
+                     makeVariants(2, 0.002, 0.55, 0.45, 1.0),
+                     PhasePattern::Bursty, 0.018));
+
+    // -------------------------------------------------------- MineBench
+    // Naive Bayesian: rich design space, 8 pareto variants, nearly
+    // proportional time/inaccuracy trade-off.
+    c.push_back(make("bayesian", Suite::MineBench, 55.0,
+                     {0.90, 24.0, 22.5, 0.0},
+                     makeVariants(8, 0.013, 0.40, 0.45, 1.0),
+                     PhasePattern::Steady, 0.027));
+
+    // K-means: compute-heavy; approximation alone is often not enough
+    // to meet NGINX's QoS (kmeans-NGINX case in the paper).
+    c.push_back(make("kmeans", Suite::MineBench, 42.0,
+                     {1.00, 20.0, 27.0, 0.0},
+                     makeVariants(6, 0.017, 0.50, 0.30, 1.1),
+                     PhasePattern::Steady, 0.031));
+
+    // BIRCH: moderate; decent relief.
+    c.push_back(make("birch", Suite::MineBench, 40.0,
+                     {0.85, 26.0, 21.0, 0.0},
+                     makeVariants(4, 0.038, 0.55, 0.45, 1.0),
+                     PhasePattern::Steady, 0.036));
+
+    // SNP: sync-elision + perforation variants particularly effective
+    // at reducing LLC contention — memcached and MongoDB can meet QoS
+    // with approximation alone.
+    c.push_back(make("snp", Suite::MineBench, 50.0,
+                     {0.80, 36.0, 19.5, 0.0},
+                     makeVariants(5, 0.022, 0.55, 0.70, 1.3),
+                     PhasePattern::Steady, 0.044));
+
+    // GeneNet: bursty network-structure learning.
+    c.push_back(make("genenet", Suite::MineBench, 44.0,
+                     {0.85, 22.0, 18.0, 0.0},
+                     makeVariants(4, 0.024, 0.55, 0.40, 1.0),
+                     PhasePattern::RampUp, 0.029));
+
+    // Fuzzy K-means: like kmeans but heavier memory traffic (its
+    // colocations show some of the worst precise-mode violations).
+    c.push_back(make("fuzzy_kmeans", Suite::MineBench, 46.0,
+                     {0.95, 24.0, 34.5, 0.0},
+                     makeVariants(5, 0.014, 0.50, 0.50, 1.1),
+                     PhasePattern::Steady, 0.041));
+
+    // SEMPHY: phylogenetics EM; approximation alone insufficient for
+    // NGINX (SEMPHY-NGINX case).
+    c.push_back(make("semphy", Suite::MineBench, 48.0,
+                     {0.95, 20.0, 24.0, 0.0},
+                     makeVariants(4, 0.027, 0.55, 0.30, 1.0),
+                     PhasePattern::Steady, 0.035));
+
+    // SVM-RFE: recursive feature elimination, moderate.
+    c.push_back(make("svm_rfe", Suite::MineBench, 43.0,
+                     {0.90, 24.0, 21.0, 0.0},
+                     makeVariants(4, 0.036, 0.55, 0.40, 1.0),
+                     PhasePattern::Steady, 0.026));
+
+    // PLSA: rich space (8 variants); heavy LLC + bandwidth; needs
+    // core reclamation with memcached despite approximation.
+    c.push_back(make("plsa", Suite::MineBench, 52.0,
+                     {0.90, 40.0, 31.5, 0.0},
+                     makeVariants(8, 0.022, 0.65, 0.30, 1.0),
+                     PhasePattern::Steady, 0.058));
+
+    // ScalParC: decision-tree classifier, mild interference.
+    c.push_back(make("scalparc", Suite::MineBench, 41.0,
+                     {0.80, 18.0, 15.0, 0.0},
+                     makeVariants(4, 0.019, 0.60, 0.40, 1.0),
+                     PhasePattern::Steady, 0.024));
+
+    // ---------------------------------------------------------- BioPerf
+    // Hmmer: profile HMM search; streaming scans, moderate.
+    c.push_back(make("hmmer", Suite::BioPerf, 39.0,
+                     {0.90, 16.0, 19.5, 0.0},
+                     makeVariants(3, 0.022, 0.60, 0.40, 1.0),
+                     PhasePattern::Steady, 0.032));
+
+    // Blast: seeded alignment; bursty I/O-ish scan phases.
+    c.push_back(make("blast", Suite::BioPerf, 44.0,
+                     {0.85, 20.0, 22.5, 2.0},
+                     makeVariants(4, 0.024, 0.60, 0.45, 1.0),
+                     PhasePattern::Bursty, 0.046));
+
+    // Fasta: lighter cousin of blast.
+    c.push_back(make("fasta", Suite::BioPerf, 37.0,
+                     {0.80, 16.0, 16.5, 1.0},
+                     makeVariants(3, 0.012, 0.65, 0.40, 1.0),
+                     PhasePattern::Steady, 0.022));
+
+    // GRAPPA: genome rearrangement, compute-bound combinatorics.
+    c.push_back(make("grappa", Suite::BioPerf, 47.0,
+                     {1.00, 14.0, 12.0, 0.0},
+                     makeVariants(4, 0.034, 0.60, 0.30, 1.0),
+                     PhasePattern::Steady, 0.039));
+
+    // ClustalW: progressive multiple alignment; quadratic DP phases.
+    c.push_back(make("clustalw", Suite::BioPerf, 45.0,
+                     {0.90, 22.0, 24.0, 0.0},
+                     makeVariants(5, 0.011, 0.55, 0.45, 1.1),
+                     PhasePattern::Steady, 0.037));
+
+    // T-Coffee: heavier consistency-based alignment.
+    c.push_back(make("tcoffee", Suite::BioPerf, 49.0,
+                     {0.90, 24.0, 21.0, 0.0},
+                     makeVariants(4, 0.021, 0.60, 0.40, 1.0),
+                     PhasePattern::Steady, 0.043));
+
+    // Glimmer: gene finding with interpolated Markov models.
+    c.push_back(make("glimmer", Suite::BioPerf, 40.0,
+                     {0.85, 18.0, 18.0, 0.0},
+                     makeVariants(4, 0.040, 0.60, 0.45, 1.0),
+                     PhasePattern::Steady, 0.030));
+
+    // CE: combinatorial-extension structure alignment.
+    c.push_back(make("ce", Suite::BioPerf, 42.0,
+                     {0.90, 20.0, 22.5, 0.0},
+                     makeVariants(3, 0.022, 0.60, 0.40, 1.0),
+                     PhasePattern::Steady, 0.034));
+
+    return c;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+catalog()
+{
+    static const std::vector<AppProfile> instance = buildCatalog();
+    return instance;
+}
+
+const AppProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &p : catalog()) {
+        if (p.name == name)
+            return p;
+    }
+    util::fatal("no catalog profile named '", name, "'");
+}
+
+std::vector<std::string>
+catalogNames()
+{
+    std::vector<std::string> names;
+    names.reserve(catalog().size());
+    for (const auto &p : catalog())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace approx
+} // namespace pliant

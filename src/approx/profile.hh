@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Application profiles for the colocation testbed: the per-app data
+ * the design-space exploration produces offline (ordered pareto
+ * variants) plus the resource characteristics the server model needs.
+ */
+
+#ifndef PLIANT_APPROX_PROFILE_HH
+#define PLIANT_APPROX_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "approx/variant.hh"
+
+namespace pliant {
+namespace approx {
+
+/** Benchmark suite an application belongs to. */
+enum class Suite { Parsec, Splash2, MineBench, BioPerf };
+
+/** Name of a suite for printing. */
+std::string suiteName(Suite suite);
+
+/**
+ * Temporal pressure phases. Most apps exert steady pressure; some
+ * (e.g. raytrace) interfere heavily only in certain execution phases.
+ */
+enum class PhasePattern
+{
+    Steady,   ///< constant pressure over the run
+    Bursty,   ///< alternating high/low pressure phases
+    RampUp,   ///< pressure grows as the run progresses
+    RampDown, ///< pressure shrinks as the run progresses
+};
+
+/**
+ * Offline profile of one approximate application: its precise
+ * execution characteristics plus the ordered, pareto-selected variant
+ * list (the output of the design-space exploration).
+ */
+struct AppProfile
+{
+    std::string name;
+    Suite suite = Suite::MineBench;
+
+    /** Nominal (precise, fair-allocation) execution time in seconds. */
+    double nominalExecSeconds = 40.0;
+
+    /** Pressure exerted in precise mode at the fair core allocation. */
+    PressureVector precisePressure;
+
+    /** Temporal modulation of the pressure over the run. */
+    PhasePattern phases = PhasePattern::Steady;
+
+    /**
+     * Ordered variants: [0] is precise, the back() is the most
+     * approximate. Produced offline by the DSE under the 5% budget.
+     */
+    std::vector<ApproxVariant> variants;
+
+    /**
+     * Execution-time overhead factor of running under the dynamic
+     * recompilation runtime (paper: 3.8% average, 8.9% worst case).
+     */
+    double dynrecOverhead = 0.038;
+
+    /**
+     * Additional nondeterministic quality noise when any sync-eliding
+     * variant is active (canneal's 5.4% outlier comes from this).
+     */
+    double syncElisionNoise = 0.0;
+
+    /** Index of the most approximate variant. */
+    int mostApproxIndex() const
+    {
+        return static_cast<int>(variants.size()) - 1;
+    }
+
+    const ApproxVariant &variant(int idx) const;
+};
+
+/**
+ * The catalog of the paper's 24 approximate applications, with
+ * variant counts matching Fig. 1 (canneal 4, raytrace 2, Bayesian 8,
+ * SNP 5, PLSA 8, ...) and resource characteristics calibrated to the
+ * qualitative behaviour the paper reports per application.
+ */
+const std::vector<AppProfile> &catalog();
+
+/** Look up a catalog profile by name; throws FatalError if missing. */
+const AppProfile &findProfile(const std::string &name);
+
+/** Names of all catalog applications, in paper order. */
+std::vector<std::string> catalogNames();
+
+} // namespace approx
+} // namespace pliant
+
+#endif // PLIANT_APPROX_PROFILE_HH

@@ -1,0 +1,158 @@
+#include "approx/task.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace approx {
+
+ApproxTask::ApproxTask(const AppProfile &profile, int fair_cores,
+                       std::uint64_t seed)
+    : prof(&profile), fairAlloc(fair_cores), allocCores(fair_cores),
+      workPerVariant(profile.variants.size(), 0.0), rng(seed)
+{
+    if (fair_cores < 1)
+        util::fatal("ApproxTask needs at least one fair core");
+    elisionNoiseDraw = rng.uniform(0.3, 1.0) * profile.syncElisionNoise;
+}
+
+void
+ApproxTask::switchVariant(int idx)
+{
+    if (idx < 0 || idx >= static_cast<int>(prof->variants.size()))
+        util::panic("variant index ", idx, " out of range for ",
+                    prof->name);
+    if (idx == currentVariant)
+        return;
+    currentVariant = idx;
+    ++switches;
+    // Coarse-grained drwrap_replace() switch: tens of microseconds of
+    // stall while the dispatch table is rewritten.
+    switchStall += 50 * sim::kMicrosecond;
+    // Upper-half variants of sync-eliding apps carry the
+    // nondeterminism noise.
+    if (idx > prof->mostApproxIndex() / 2 && prof->syncElisionNoise > 0)
+        usedAggressiveVariant = true;
+}
+
+bool
+ApproxTask::yieldCore()
+{
+    if (allocCores <= 1)
+        return false;
+    --allocCores;
+    return true;
+}
+
+bool
+ApproxTask::reclaimCore()
+{
+    if (allocCores >= fairAlloc)
+        return false;
+    ++allocCores;
+    return true;
+}
+
+void
+ApproxTask::setCores(int cores)
+{
+    allocCores = std::clamp(cores, 1, fairAlloc);
+}
+
+void
+ApproxTask::tick(sim::Time dt)
+{
+    if (finished())
+        return;
+    elapsedTime += dt;
+
+    sim::Time effective = dt;
+    if (switchStall > 0) {
+        const sim::Time consumed = std::min(switchStall, effective);
+        switchStall -= consumed;
+        effective -= consumed;
+    }
+    if (effective <= 0)
+        return;
+
+    const ApproxVariant &v = prof->variant(currentVariant);
+    const double core_ratio = static_cast<double>(allocCores) /
+                              static_cast<double>(fairAlloc);
+    const double denom = v.execTimeNorm * prof->nominalExecSeconds *
+                         (1.0 + prof->dynrecOverhead);
+    const double rate = core_ratio / std::max(denom, 1e-9);
+    const double delta = sim::toSeconds(effective) * rate;
+
+    const double applied = std::min(delta, 1.0 - progress);
+    progress += applied;
+    workPerVariant[static_cast<std::size_t>(currentVariant)] += applied;
+}
+
+PressureVector
+ApproxTask::currentPressure() const
+{
+    if (finished())
+        return {};
+    const ApproxVariant &v = prof->variant(currentVariant);
+    PressureVector pv = prof->precisePressure.scaled(
+        v.computeScale, v.llcScale, v.membwScale);
+
+    // Cores scale compute demand and (sub-linearly) bandwidth; the
+    // LLC footprint belongs to the data set, not the thread count.
+    // The scaling is against the reference allocation the pressure
+    // vectors were profiled at, so an app squeezed into a small
+    // multi-tenant share exerts proportionally less demand.
+    const double core_ratio = static_cast<double>(allocCores) /
+                              static_cast<double>(kReferenceCores);
+    pv.compute *= core_ratio;
+    pv.membwGbs *= 0.4 + 0.6 * core_ratio;
+
+    // Phase modulation.
+    double phase_mul = 1.0;
+    switch (prof->phases) {
+      case PhasePattern::Steady:
+        break;
+      case PhasePattern::Bursty:
+        // Four high-pressure bursts across the run.
+        phase_mul = std::sin(progress * 4.0 * 3.14159265358979) > 0
+                        ? 1.35
+                        : 0.6;
+        break;
+      case PhasePattern::RampUp:
+        phase_mul = 0.6 + 0.8 * progress;
+        break;
+      case PhasePattern::RampDown:
+        phase_mul = 1.4 - 0.8 * progress;
+        break;
+    }
+    pv.llcMb *= phase_mul;
+    pv.membwGbs *= phase_mul;
+    pv.compute = std::min(pv.compute * phase_mul, 1.0);
+    return pv;
+}
+
+double
+ApproxTask::inaccuracy() const
+{
+    const double total =
+        std::max(progress, 1e-12);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < workPerVariant.size(); ++i)
+        acc += workPerVariant[i] * prof->variants[i].inaccuracy;
+    double result = acc / total;
+    if (usedAggressiveVariant)
+        result += elisionNoiseDraw;
+    return std::min(result, 1.0);
+}
+
+double
+ApproxTask::relativeExecTime() const
+{
+    return sim::toSeconds(elapsedTime) /
+           std::max(prof->nominalExecSeconds, 1e-9);
+}
+
+} // namespace approx
+} // namespace pliant

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Runtime state of one approximate application inside the testbed:
+ * work progress, active variant, core allocation, and the quality
+ * accounting that turns the time spent in each variant into a final
+ * output-inaccuracy number.
+ */
+
+#ifndef PLIANT_APPROX_TASK_HH
+#define PLIANT_APPROX_TASK_HH
+
+#include <vector>
+
+#include "approx/profile.hh"
+#include "sim/time.hh"
+#include "util/rng.hh"
+
+namespace pliant {
+namespace approx {
+
+/**
+ * An approximate application executing on the simulated server.
+ *
+ * Progress is tracked as a fraction of the total (precise) work; at
+ * variant v with c allocated cores out of a fair allocation of f
+ * cores, the progress rate is (c / f) / (execTimeNorm_v * T_nominal),
+ * multiplied down by the dynamic-recompilation overhead. The final
+ * inaccuracy is the work-fraction-weighted mean of the inaccuracies
+ * of the variants used (Section 4.3's incremental-approximation
+ * accounting).
+ */
+class ApproxTask
+{
+  public:
+    /**
+     * Core count the catalog's pressure vectors are calibrated at
+     * (the single-app fair share on the evaluation platform). An app
+     * running on fewer cores exerts proportionally less compute and
+     * bandwidth demand; its LLC footprint stays with the data set.
+     */
+    static constexpr int kReferenceCores = 8;
+
+    /**
+     * @param profile offline application profile (catalog entry).
+     * @param fair_cores the fair-share core allocation this app's
+     *        nominal execution time is defined at.
+     * @param seed stream for phase/nondeterminism noise.
+     */
+    ApproxTask(const AppProfile &profile, int fair_cores,
+               std::uint64_t seed);
+
+    const AppProfile &profile() const { return *prof; }
+
+    /** Currently active variant index (0 = precise). */
+    int variantIndex() const { return currentVariant; }
+
+    /** Switch to the given variant (records a recompilation event). */
+    void switchVariant(int idx);
+
+    int cores() const { return allocCores; }
+    int fairCores() const { return fairAlloc; }
+
+    /** Reclaim one core from this task (keeps at least one). */
+    bool yieldCore();
+
+    /** Return one core to this task (never exceeds fair share). */
+    bool reclaimCore();
+
+    /** Set the allocation directly (clamped to [1, fair]). */
+    void setCores(int cores);
+
+    /** Advance execution by dt of simulated time. */
+    void tick(sim::Time dt);
+
+    bool finished() const { return progress >= 1.0; }
+    double progressFraction() const { return progress; }
+
+    /**
+     * Pressure currently exerted on the shared server, given the
+     * active variant, the core allocation, and the app's phase
+     * pattern at the current progress point.
+     */
+    PressureVector currentPressure() const;
+
+    /**
+     * Final (or current, if unfinished) output inaccuracy: the
+     * work-weighted mean of variant inaccuracies plus any
+     * sync-elision nondeterminism noise drawn for this run.
+     */
+    double inaccuracy() const;
+
+    /** Total wall-clock the task has executed, in simulated time. */
+    sim::Time elapsed() const { return elapsedTime; }
+
+    /**
+     * Execution time relative to nominal (precise at fair cores),
+     * meaningful once finished().
+     */
+    double relativeExecTime() const;
+
+    /** Number of variant switches performed (dynrec invocations). */
+    int switchCount() const { return switches; }
+
+  private:
+    const AppProfile *prof;
+    int fairAlloc;
+    int allocCores;
+    int currentVariant = 0;
+    double progress = 0.0;
+    sim::Time elapsedTime = 0;
+    int switches = 0;
+    /** Work fraction executed under each variant index. */
+    std::vector<double> workPerVariant;
+    /** Pending recompilation stall, consumed by the next ticks. */
+    sim::Time switchStall = 0;
+    /** Whether any sync-eliding (upper-half) variant was ever used. */
+    bool usedAggressiveVariant = false;
+    double elisionNoiseDraw = 0.0;
+    util::Rng rng;
+};
+
+} // namespace approx
+} // namespace pliant
+
+#endif // PLIANT_APPROX_TASK_HH

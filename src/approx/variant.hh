@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Approximate-variant descriptors: the (execution time, inaccuracy,
+ * resource pressure) operating points the Pliant runtime navigates.
+ */
+
+#ifndef PLIANT_APPROX_VARIANT_HH
+#define PLIANT_APPROX_VARIANT_HH
+
+#include <string>
+#include <vector>
+
+namespace pliant {
+namespace approx {
+
+/**
+ * Shared-resource pressure an application exerts while running.
+ * Units: compute is demanded utilization per allocated core [0, 1],
+ * llcMb is last-level-cache footprint in MB, membwGbs is memory
+ * bandwidth demand in GB/s, ioMbs is disk/network I/O in MB/s.
+ */
+struct PressureVector
+{
+    double compute = 0.0;
+    double llcMb = 0.0;
+    double membwGbs = 0.0;
+    double ioMbs = 0.0;
+
+    PressureVector
+    scaled(double compute_s, double llc_s, double membw_s,
+           double io_s = 1.0) const
+    {
+        return {compute * compute_s, llcMb * llc_s, membwGbs * membw_s,
+                ioMbs * io_s};
+    }
+};
+
+/**
+ * One approximate operating point of an application.
+ *
+ * Index 0 is always precise execution; higher indices are ordered by
+ * increasing inaccuracy (the order the paper's Fig. 1 scatter plots
+ * use), so "switch to MOST approximate" means the last variant.
+ */
+struct ApproxVariant
+{
+    /** Position in the app's ordered variant list (0 = precise). */
+    int index = 0;
+
+    /** Human-readable label, e.g. "precise", "p4+float". */
+    std::string label;
+
+    /**
+     * Execution time normalized to precise execution on the same
+     * resources (< 1 means the variant runs faster).
+     */
+    double execTimeNorm = 1.0;
+
+    /** Output-quality loss in [0, 1] when the whole run uses this. */
+    double inaccuracy = 0.0;
+
+    /**
+     * Multiplicative pressure relief vs the precise pressure vector:
+     * {compute, llc, membw} scale factors in (0, 1].
+     */
+    double computeScale = 1.0;
+    double llcScale = 1.0;
+    double membwScale = 1.0;
+
+    bool isPrecise() const { return index == 0; }
+};
+
+/**
+ * Validate an ordered variant list: index 0 precise, indices
+ * contiguous, inaccuracy non-decreasing, scales in (0, 1].
+ * @return empty string if valid, else a description of the problem.
+ */
+std::string validateVariants(const std::vector<ApproxVariant> &variants);
+
+} // namespace approx
+} // namespace pliant
+
+#endif // PLIANT_APPROX_VARIANT_HH

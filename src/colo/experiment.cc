@@ -1,0 +1,340 @@
+#include "colo/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "approx/profile.hh"
+#include "core/learned.hh"
+#include "dynrec/overhead.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace pliant {
+namespace colo {
+
+/**
+ * Binds the runtime's abstract actuation to the experiment's tasks
+ * and service: variant switches forward to the task (modeling the
+ * signal -> drwrap_replace path), and core moves re-pin one physical
+ * core between a task's container and the service's container.
+ */
+class ColocationExperiment::ServerActuator : public core::Actuator
+{
+  public:
+    ServerActuator(std::vector<approx::ApproxTask> &tasks_in,
+                   services::InteractiveService &service_in,
+                   server::CachePartition &partition_in)
+        : tasks(tasks_in), svc(service_in), part(partition_in)
+    {
+    }
+
+    bool growServicePartition() override { return part.grow(); }
+    bool shrinkServicePartition() override { return part.shrink(); }
+    int servicePartitionWays() const override
+    {
+        return part.serviceWays();
+    }
+
+    int taskCount() const override
+    {
+        return static_cast<int>(tasks.size());
+    }
+
+    bool taskFinished(int t) const override
+    {
+        return tasks[idx(t)].finished();
+    }
+
+    int variantOf(int t) const override
+    {
+        return tasks[idx(t)].variantIndex();
+    }
+
+    int mostApproxOf(int t) const override
+    {
+        return tasks[idx(t)].profile().mostApproxIndex();
+    }
+
+    void switchVariant(int t, int v) override
+    {
+        tasks[idx(t)].switchVariant(v);
+    }
+
+    bool reclaimCore(int t) override
+    {
+        if (!tasks[idx(t)].yieldCore())
+            return false;
+        svc.setCores(svc.cores() + 1);
+        return true;
+    }
+
+    bool returnCore(int t) override
+    {
+        if (!tasks[idx(t)].reclaimCore())
+            return false;
+        svc.setCores(svc.cores() - 1);
+        return true;
+    }
+
+    int reclaimedFrom(int t) const override
+    {
+        return tasks[idx(t)].fairCores() - tasks[idx(t)].cores();
+    }
+
+    double reliefPotential(int t) const override
+    {
+        const auto &task = tasks[idx(t)];
+        const auto &prof = task.profile();
+        const auto &most = prof.variant(prof.mostApproxIndex());
+        const auto &cur = prof.variant(task.variantIndex());
+        const double llc_drop =
+            prof.precisePressure.llcMb * (cur.llcScale - most.llcScale);
+        const double bw_drop = prof.precisePressure.membwGbs *
+                               (cur.membwScale - most.membwScale);
+        return std::max(llc_drop + bw_drop, 0.0);
+    }
+
+    double qualityCost(int t) const override
+    {
+        const auto &prof = tasks[idx(t)].profile();
+        const auto &most = prof.variant(prof.mostApproxIndex());
+        const auto &cur = prof.variant(tasks[idx(t)].variantIndex());
+        return std::max(most.inaccuracy - cur.inaccuracy, 0.0);
+    }
+
+  private:
+    static std::size_t
+    idx(int t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+
+    std::vector<approx::ApproxTask> &tasks;
+    services::InteractiveService &svc;
+    server::CachePartition &part;
+};
+
+int
+ColocationExperiment::fairShare(const server::ServerSpec &spec,
+                                int n_apps)
+{
+    return std::max(1, spec.usableCores() / (n_apps + 1));
+}
+
+ColocationExperiment::ColocationExperiment(ColoConfig config)
+    : cfg(std::move(config)), interference(cfg.spec),
+      partition(cfg.spec, 0), monitor(4096, cfg.seed ^ 0x30)
+{
+    if (cfg.apps.empty())
+        util::fatal("colocation experiment needs at least one app");
+
+    const int n = static_cast<int>(cfg.apps.size());
+    appFairCores = fairShare(cfg.spec, n);
+    serviceFairCores = cfg.spec.usableCores() - n * appFairCores;
+
+    services::ServiceConfig scfg = services::defaultConfig(cfg.service);
+    scfg.fairCores = serviceFairCores;
+    services::WorkloadConfig wl;
+    wl.loadFraction = cfg.loadFraction;
+    service = std::make_unique<services::InteractiveService>(
+        scfg, wl, cfg.seed ^ 0x51);
+
+    // The precise baseline runs natively (no recompilation runtime),
+    // so it pays no instrumentation overhead.
+    dynrec::OverheadModel overheads(dynrec::OverheadParams{},
+                                    cfg.seed ^ 0xd0);
+    std::uint64_t task_seed = cfg.seed ^ 0x7a;
+    for (const std::string &name : cfg.apps) {
+        approx::AppProfile prof = approx::findProfile(name);
+        if (cfg.runtime == core::RuntimeKind::Precise)
+            prof.dynrecOverhead = 0.0;
+        profiles.push_back(prof);
+    }
+    if (!cfg.initialVariants.empty() &&
+        cfg.initialVariants.size() != cfg.apps.size())
+        util::fatal("initialVariants must be empty or match apps");
+
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        tasks.emplace_back(profiles[i], appFairCores, task_seed++);
+        if (!cfg.initialVariants.empty())
+            tasks.back().switchVariant(cfg.initialVariants[i]);
+    }
+    (void)overheads;
+
+    actuator =
+        std::make_unique<ServerActuator>(tasks, *service, partition);
+    if (cfg.runtime == core::RuntimeKind::Pliant) {
+        core::RuntimeParams rp;
+        rp.slackThreshold = cfg.slackThreshold;
+        rp.arbiter = cfg.arbiter;
+        rp.enableCachePartitioning = cfg.enableCachePartitioning;
+        runtime = std::make_unique<core::PliantRuntime>(
+            *actuator, rp, cfg.seed ^ 0x91);
+    } else if (cfg.runtime == core::RuntimeKind::Learned) {
+        runtime = std::make_unique<core::LearnedRuntime>(
+            *actuator, core::LearnedParams{}, cfg.seed ^ 0x91);
+    } else {
+        runtime = std::make_unique<core::PreciseRuntime>();
+    }
+}
+
+ColocationExperiment::~ColocationExperiment() = default;
+
+ColoResult
+ColocationExperiment::run()
+{
+    ColoResult result;
+    result.service = service->name();
+    result.runtime = runtime->name();
+    result.qosUs = service->qosUs();
+
+    sim::Clock clock(cfg.tick);
+    sim::Time next_decision = cfg.decisionInterval;
+    const sim::Time warmup = 5 * sim::kSecond;
+    util::P2Quantile steady(0.99);
+    int qos_met_intervals = 0;
+    int total_intervals = 0;
+
+    std::vector<int> max_reclaimed(tasks.size(), 0);
+
+    const auto allFinished = [&]() {
+        for (const auto &t : tasks)
+            if (!t.finished())
+                return false;
+        return true;
+    };
+
+    while (!allFinished() && clock.now() < cfg.maxDuration) {
+        // 1. Gather co-runner pressure and compute the inflation the
+        //    interactive service experiences this tick.
+        std::vector<approx::PressureVector> corun;
+        corun.reserve(tasks.size());
+        for (const auto &t : tasks)
+            corun.push_back(t.currentPressure());
+        const auto contention = interference.contentionPartitioned(
+            service->currentPressure(), corun, partition);
+        const double inflation = interference.inflation(
+            contention, service->config().sensitivity);
+
+        // 2. Advance the service and the approximate tasks.
+        const auto svc_tick = service->tick(cfg.tick, inflation);
+        monitor.observe(svc_tick.sampleUs);
+        if (clock.now() >= warmup) {
+            for (double s : svc_tick.sampleUs)
+                steady.add(s);
+        }
+        for (auto &t : tasks)
+            t.tick(cfg.tick);
+
+        const sim::Time now = clock.advance();
+
+        // 3. Decision interval boundary: close the monitoring window
+        //    and let the runtime act.
+        if (now >= next_decision) {
+            next_decision += cfg.decisionInterval;
+            const core::IntervalReport rep = monitor.closeInterval();
+            ++total_intervals;
+            if (rep.p99Us <= service->qosUs())
+                ++qos_met_intervals;
+
+            const core::Decision decision =
+                runtime->onInterval(rep.p99Us, service->qosUs());
+
+            TimePoint tp;
+            tp.t = now;
+            tp.p99Us = rep.p99Us;
+            tp.loadFraction = svc_tick.offeredLoad;
+            tp.partitionWays = partition.serviceWays();
+            tp.decision = decision;
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                tp.variantOf.push_back(tasks[i].variantIndex());
+                const int reclaimed =
+                    tasks[i].fairCores() - tasks[i].cores();
+                tp.reclaimed.push_back(reclaimed);
+                max_reclaimed[i] = std::max(max_reclaimed[i], reclaimed);
+            }
+            result.timeline.push_back(std::move(tp));
+        }
+    }
+
+    // Summaries.
+    result.overallP99Us = monitor.longRunP99();
+    result.steadyP99Us = steady.value();
+    double sum_p99 = 0.0;
+    std::size_t n_intervals = 0;
+    for (const auto &tp : result.timeline) {
+        if (tp.t <= warmup)
+            continue; // control loop still converging
+        sum_p99 += tp.p99Us;
+        ++n_intervals;
+    }
+    // Fall back to the full timeline for very short runs.
+    if (n_intervals == 0) {
+        for (const auto &tp : result.timeline) {
+            sum_p99 += tp.p99Us;
+            ++n_intervals;
+        }
+    }
+    result.meanIntervalP99Us = n_intervals == 0
+        ? 0.0
+        : sum_p99 / static_cast<double>(n_intervals);
+    result.qosMetFraction = total_intervals == 0
+        ? 0.0
+        : static_cast<double>(qos_met_intervals) /
+              static_cast<double>(total_intervals);
+
+    int max_total = 0;
+    std::vector<double> totals_post_warmup;
+    for (const auto &tp : result.timeline) {
+        int total = 0;
+        for (int r : tp.reclaimed)
+            total += r;
+        max_total = std::max(max_total, total);
+        if (tp.t > warmup)
+            totals_post_warmup.push_back(total);
+    }
+    result.maxCoresReclaimedTotal = max_total;
+    result.approximationAloneSufficed = max_total == 0;
+    for (const auto &tp : result.timeline)
+        result.maxPartitionWays =
+            std::max(result.maxPartitionWays, tp.partitionWays);
+    if (!totals_post_warmup.empty()) {
+        util::PercentileWindow pw;
+        for (double t : totals_post_warmup)
+            pw.add(t);
+        result.typicalCoresReclaimed =
+            static_cast<int>(std::lround(pw.percentile(60.0)));
+    }
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        AppOutcome out;
+        out.name = tasks[i].profile().name;
+        out.finished = tasks[i].finished();
+        out.relativeExecTime = tasks[i].relativeExecTime();
+        out.inaccuracy = tasks[i].inaccuracy();
+        out.switches = tasks[i].switchCount();
+        out.dynrecOverhead = tasks[i].profile().dynrecOverhead;
+        out.maxCoresReclaimed = max_reclaimed[i];
+        result.apps.push_back(std::move(out));
+    }
+    return result;
+}
+
+ColoResult
+runColocation(services::ServiceKind service,
+              const std::vector<std::string> &apps,
+              core::RuntimeKind runtime, std::uint64_t seed,
+              double load_fraction)
+{
+    ColoConfig cfg;
+    cfg.service = service;
+    cfg.apps = apps;
+    cfg.runtime = runtime;
+    cfg.seed = seed;
+    cfg.loadFraction = load_fraction;
+    ColocationExperiment exp(cfg);
+    return exp.run();
+}
+
+} // namespace colo
+} // namespace pliant

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Colocation experiment harness: wires the simulated server, one
+ * interactive service, N approximate applications, the performance
+ * monitor, and a runtime (Precise baseline or Pliant) into one
+ * deterministic experiment, and records the time series and summary
+ * statistics every evaluation figure is built from.
+ */
+
+#ifndef PLIANT_COLO_EXPERIMENT_HH
+#define PLIANT_COLO_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "approx/task.hh"
+#include "core/actuator.hh"
+#include "core/monitor.hh"
+#include "core/runtime.hh"
+#include "server/interference.hh"
+#include "server/partition.hh"
+#include "server/spec.hh"
+#include "services/interactive.hh"
+#include "sim/clock.hh"
+
+namespace pliant {
+namespace colo {
+
+/** Experiment configuration. */
+struct ColoConfig
+{
+    services::ServiceKind service = services::ServiceKind::Memcached;
+
+    /** Catalog names of the colocated approximate applications. */
+    std::vector<std::string> apps;
+
+    core::RuntimeKind runtime = core::RuntimeKind::Pliant;
+    core::ArbiterKind arbiter = core::ArbiterKind::RoundRobin;
+
+    /** Offered load as a fraction of the service's saturation. */
+    double loadFraction = 0.78;
+
+    /** Pliant decision interval (paper default: 1 s). */
+    sim::Time decisionInterval = sim::kSecond;
+
+    /** Latency slack threshold for reverting (paper default: 10%). */
+    double slackThreshold = 0.10;
+
+    /** Simulation tick. */
+    sim::Time tick = 10 * sim::kMillisecond;
+
+    /** Safety cap on the experiment duration. */
+    sim::Time maxDuration = 600 * sim::kSecond;
+
+    std::uint64_t seed = 1;
+
+    server::ServerSpec spec;
+
+    /**
+     * Optional per-app starting variants (parallel to `apps`). Used
+     * by the Fig. 1 static exploration, where each selected variant
+     * runs for the whole colocation; empty means all start precise.
+     */
+    std::vector<int> initialVariants;
+
+    /**
+     * Section 6.5 extension: let the runtime isolate LLC ways for
+     * the interactive service before reclaiming cores.
+     */
+    bool enableCachePartitioning = false;
+};
+
+/** One sampled point of the experiment time series. */
+struct TimePoint
+{
+    sim::Time t = 0;
+    double p99Us = 0.0;       ///< interval tail latency
+    double loadFraction = 0.0;
+    std::vector<int> variantOf;  ///< per-app active variant
+    std::vector<int> reclaimed;  ///< per-app cores reclaimed
+    int partitionWays = 0;       ///< LLC ways isolated for service
+    core::Decision decision;     ///< what the runtime did
+};
+
+/** Per-application outcome. */
+struct AppOutcome
+{
+    std::string name;
+    bool finished = false;
+    double relativeExecTime = 0.0; ///< vs nominal precise execution
+    double inaccuracy = 0.0;
+    int switches = 0;
+    double dynrecOverhead = 0.0;
+    int maxCoresReclaimed = 0;
+};
+
+/** Full experiment outcome. */
+struct ColoResult
+{
+    std::string service;
+    std::string runtime;
+    double qosUs = 0.0;
+
+    /** Overall p99 across every request sample of the run. */
+    double overallP99Us = 0.0;
+
+    /**
+     * p99 across samples after the control loop's warmup (the first
+     * 5 seconds), i.e. the steady-state tail latency the paper's
+     * Fig. 5 bars report.
+     */
+    double steadyP99Us = 0.0;
+
+    /** Mean of the per-interval p99 estimates. */
+    double meanIntervalP99Us = 0.0;
+
+    /** Fraction of decision intervals that met QoS. */
+    double qosMetFraction = 0.0;
+
+    /** Max cores simultaneously reclaimed across all apps. */
+    int maxCoresReclaimedTotal = 0;
+
+    /**
+     * Cores the service needed in a *sustained* way: the 60th
+     * percentile of the per-interval total reclaimed count after
+     * warmup. Brief burst-driven reclaims that are returned within
+     * an interval or two do not register here (this is the statistic
+     * behind the paper's Fig. 10 breakdown).
+     */
+    int typicalCoresReclaimed = 0;
+
+    /** Whether approximation alone sufficed (no core ever taken). */
+    bool approximationAloneSufficed = true;
+
+    /** Max LLC ways the runtime isolated for the service. */
+    int maxPartitionWays = 0;
+
+    std::vector<AppOutcome> apps;
+    std::vector<TimePoint> timeline;
+};
+
+/**
+ * A single colocation run. Construct, then call run().
+ */
+class ColocationExperiment
+{
+  public:
+    explicit ColocationExperiment(ColoConfig cfg);
+    ~ColocationExperiment();
+
+    ColocationExperiment(const ColocationExperiment &) = delete;
+    ColocationExperiment &operator=(const ColocationExperiment &) =
+        delete;
+
+    /** Execute the experiment to completion. */
+    ColoResult run();
+
+    /** Fair core allocation per container for this config. */
+    static int fairShare(const server::ServerSpec &spec, int n_apps);
+
+  private:
+    class ServerActuator;
+
+    ColoConfig cfg;
+    std::unique_ptr<services::InteractiveService> service;
+    /** Profile copies (dynrec overhead zeroed for the baseline). */
+    std::vector<approx::AppProfile> profiles;
+    std::vector<approx::ApproxTask> tasks;
+    server::InterferenceModel interference;
+    server::CachePartition partition;
+    core::PerformanceMonitor monitor;
+    std::unique_ptr<ServerActuator> actuator;
+    std::unique_ptr<core::Runtime> runtime;
+    int serviceFairCores = 0;
+    int appFairCores = 0;
+};
+
+/**
+ * Convenience: run one (service, apps, runtime) combination with
+ * defaults and return the result.
+ */
+ColoResult runColocation(services::ServiceKind service,
+                         const std::vector<std::string> &apps,
+                         core::RuntimeKind runtime,
+                         std::uint64_t seed = 1,
+                         double load_fraction = 0.78);
+
+} // namespace colo
+} // namespace pliant
+
+#endif // PLIANT_COLO_EXPERIMENT_HH

@@ -1,0 +1,71 @@
+#include "colo/trace.hh"
+
+#include <string>
+#include <vector>
+
+#include "util/table.hh"
+
+namespace pliant {
+namespace colo {
+
+void
+writeTimelineCsv(std::ostream &os, const ColoResult &result)
+{
+    util::CsvWriter csv(os);
+    std::vector<std::string> header{"t_s",      "p99_us",
+                                    "p99_over_qos", "load",
+                                    "decision", "partition_ways"};
+    for (const auto &app : result.apps) {
+        header.push_back(app.name + "_variant");
+        header.push_back(app.name + "_reclaimed");
+    }
+    csv.writeRow(header);
+
+    for (const auto &tp : result.timeline) {
+        std::vector<std::string> row{
+            util::fmt(sim::toSeconds(tp.t), 3),
+            util::fmt(tp.p99Us, 1),
+            util::fmt(tp.p99Us / result.qosUs, 4),
+            util::fmt(tp.loadFraction, 4),
+            core::decisionName(tp.decision.kind),
+            std::to_string(tp.partitionWays)};
+        for (std::size_t a = 0; a < result.apps.size(); ++a) {
+            row.push_back(std::to_string(tp.variantOf[a]));
+            row.push_back(std::to_string(tp.reclaimed[a]));
+        }
+        csv.writeRow(row);
+    }
+}
+
+void
+writeSummaryCsv(std::ostream &os, const ColoResult &result)
+{
+    util::CsvWriter csv(os);
+    csv.writeRow({"service", "runtime", "qos_us", "steady_p99_us",
+                  "mean_interval_p99_us", "qos_met_fraction",
+                  "max_cores_reclaimed", "typical_cores_reclaimed",
+                  "max_partition_ways", "apps", "mean_inaccuracy",
+                  "mean_rel_exec"});
+    double inacc = 0.0, rel = 0.0;
+    std::string apps;
+    for (const auto &a : result.apps) {
+        inacc += a.inaccuracy;
+        rel += a.relativeExecTime;
+        if (!apps.empty())
+            apps += "+";
+        apps += a.name;
+    }
+    const double n = static_cast<double>(result.apps.size());
+    csv.writeRow({result.service, result.runtime,
+                  util::fmt(result.qosUs, 1),
+                  util::fmt(result.steadyP99Us, 1),
+                  util::fmt(result.meanIntervalP99Us, 1),
+                  util::fmt(result.qosMetFraction, 4),
+                  std::to_string(result.maxCoresReclaimedTotal),
+                  std::to_string(result.typicalCoresReclaimed),
+                  std::to_string(result.maxPartitionWays), apps,
+                  util::fmt(inacc / n, 5), util::fmt(rel / n, 4)});
+}
+
+} // namespace colo
+} // namespace pliant

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trace export: serialize a ColoResult's timeline and summary to CSV
+ * so external plotting tools can regenerate the paper's figures from
+ * the same data the text benches print.
+ */
+
+#ifndef PLIANT_COLO_TRACE_HH
+#define PLIANT_COLO_TRACE_HH
+
+#include <ostream>
+
+#include "colo/experiment.hh"
+
+namespace pliant {
+namespace colo {
+
+/**
+ * Write the per-interval timeline as CSV. Columns:
+ * t_s, p99_us, p99_over_qos, load, decision, partition_ways,
+ * then per app: <name>_variant, <name>_reclaimed.
+ */
+void writeTimelineCsv(std::ostream &os, const ColoResult &result);
+
+/**
+ * Write the one-row experiment summary as CSV (with header).
+ */
+void writeSummaryCsv(std::ostream &os, const ColoResult &result);
+
+} // namespace colo
+} // namespace pliant
+
+#endif // PLIANT_COLO_TRACE_HH

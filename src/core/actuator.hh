@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Actuation interface between the Pliant runtime algorithm and the
+ * system it controls.
+ *
+ * The runtime's decisions are exactly two kinds: switch an
+ * approximate application's active variant (delivered as a virtual
+ * signal trapped by the recompilation runtime) and move one core
+ * between an approximate application and the interactive service.
+ * Abstracting them behind this interface keeps the control algorithm
+ * testable in isolation and lets the colocation harness bind it to
+ * the simulated server.
+ */
+
+#ifndef PLIANT_CORE_ACTUATOR_HH
+#define PLIANT_CORE_ACTUATOR_HH
+
+#include <cstddef>
+
+namespace pliant {
+namespace core {
+
+/**
+ * Abstract actuator over one interactive service and N approximate
+ * applications.
+ */
+class Actuator
+{
+  public:
+    virtual ~Actuator() = default;
+
+    /** Number of approximate applications under control. */
+    virtual int taskCount() const = 0;
+
+    /** Whether task t has finished (no longer actuable). */
+    virtual bool taskFinished(int t) const = 0;
+
+    /** Active variant index of task t (0 = precise). */
+    virtual int variantOf(int t) const = 0;
+
+    /** Most approximate variant index available for task t. */
+    virtual int mostApproxOf(int t) const = 0;
+
+    /** Switch task t to variant v (raises the mapped signal). */
+    virtual void switchVariant(int t, int v) = 0;
+
+    /**
+     * Reclaim one core from task t and yield it to the interactive
+     * service. @return false if the task is at its minimum.
+     */
+    virtual bool reclaimCore(int t) = 0;
+
+    /**
+     * Return one previously reclaimed core to task t.
+     * @return false if the task already has its fair share.
+     */
+    virtual bool returnCore(int t) = 0;
+
+    /** Cores currently reclaimed from task t (>= 0). */
+    virtual int reclaimedFrom(int t) const = 0;
+
+    /**
+     * Grow the interactive service's isolated LLC partition by one
+     * way (Section 6.5 cache-trading extension). Default: partition
+     * actuation unsupported.
+     * @return false when unsupported or already at the maximum.
+     */
+    virtual bool growServicePartition() { return false; }
+
+    /**
+     * Shrink the service's isolated LLC partition by one way.
+     * @return false when unsupported or already unpartitioned.
+     */
+    virtual bool shrinkServicePartition() { return false; }
+
+    /** Ways currently isolated for the service (0 = shared LLC). */
+    virtual int servicePartitionWays() const { return 0; }
+
+    /**
+     * Estimated shared-resource pressure relief (arbitrary positive
+     * units) of escalating task t to its most approximate variant.
+     * Used by the impact-aware arbiter; the default makes all tasks
+     * equally attractive (degenerating to round-robin order).
+     */
+    virtual double reliefPotential(int) const { return 1.0; }
+
+    /**
+     * Estimated output-quality cost of escalating task t to its most
+     * approximate variant (its max inaccuracy). Impact-aware only.
+     */
+    virtual double qualityCost(int) const { return 1.0; }
+};
+
+} // namespace core
+} // namespace pliant
+
+#endif // PLIANT_CORE_ACTUATOR_HH

@@ -1,0 +1,169 @@
+#include "core/learned.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace core {
+
+LearnedRuntime::LearnedRuntime(Actuator &actuator, LearnedParams params,
+                               std::uint64_t seed)
+    : act(actuator), prm(params), rng(seed)
+{
+    if (prm.alpha <= 0 || prm.alpha > 1)
+        util::fatal("EWMA alpha must be in (0, 1], got ", prm.alpha);
+    models.resize(static_cast<std::size_t>(act.taskCount()));
+    for (int t = 0; t < act.taskCount(); ++t) {
+        const std::size_t variants =
+            static_cast<std::size_t>(act.mostApproxOf(t)) + 1;
+        models[static_cast<std::size_t>(t)].latencyUs.assign(variants,
+                                                             0.0);
+        models[static_cast<std::size_t>(t)].samples.assign(variants, 0);
+    }
+    rrPointer = act.taskCount() > 0
+        ? static_cast<int>(rng.uniformInt(
+              static_cast<std::uint64_t>(act.taskCount())))
+        : 0;
+}
+
+double
+LearnedRuntime::estimate(int task, int variant) const
+{
+    return models[static_cast<std::size_t>(task)]
+        .latencyUs[static_cast<std::size_t>(variant)];
+}
+
+bool
+LearnedRuntime::explored(int task, int variant) const
+{
+    return models[static_cast<std::size_t>(task)]
+               .samples[static_cast<std::size_t>(variant)] > 0;
+}
+
+void
+LearnedRuntime::observe(double p99_us)
+{
+    for (int t = 0; t < act.taskCount(); ++t) {
+        if (act.taskFinished(t))
+            continue;
+        auto &model = models[static_cast<std::size_t>(t)];
+        const std::size_t v =
+            static_cast<std::size_t>(act.variantOf(t));
+        if (model.samples[v] == 0)
+            model.latencyUs[v] = p99_us;
+        else
+            model.latencyUs[v] = prm.alpha * p99_us +
+                                 (1.0 - prm.alpha) * model.latencyUs[v];
+        ++model.samples[v];
+    }
+}
+
+Decision
+LearnedRuntime::onInterval(double p99_us, double qos_us)
+{
+    ++intervalCount;
+    observe(p99_us);
+
+    if (p99_us > qos_us) {
+        slackStreak = 0;
+        return escalate(qos_us);
+    }
+    const double slack = 1.0 - p99_us / qos_us;
+    if (slack > prm.slackThreshold) {
+        if (++slackStreak >= prm.revertHysteresis) {
+            slackStreak = 0;
+            return deescalate(qos_us);
+        }
+    } else {
+        slackStreak = 0;
+    }
+    return Decision{};
+}
+
+Decision
+LearnedRuntime::escalate(double qos_us)
+{
+    const double target = (1.0 - prm.margin) * qos_us;
+    const int n = act.taskCount();
+    for (int i = 0; i < n; ++i) {
+        const int t = (rrPointer + i) % n;
+        if (act.taskFinished(t))
+            continue;
+        const int cur = act.variantOf(t);
+        const int most = act.mostApproxOf(t);
+        if (cur >= most)
+            continue;
+
+        // Prefer the least-approximate *learned-safe* variant deeper
+        // than the current one; fall back to probing the next
+        // unexplored step.
+        int choice = -1;
+        for (int v = cur + 1; v <= most; ++v) {
+            if (explored(t, v) && estimate(t, v) <= target) {
+                choice = v;
+                break;
+            }
+        }
+        if (choice < 0) {
+            // No known-safe deeper variant: probe the next step (if
+            // unexplored) or jump to the deepest unexplored one.
+            choice = cur + 1;
+            while (choice < most && explored(t, choice) &&
+                   estimate(t, choice) > target) {
+                ++choice;
+            }
+        }
+        act.switchVariant(t, choice);
+        rrPointer = (t + 1) % n;
+        return {Decision::Kind::SwitchToMost, t};
+    }
+
+    // Everyone at most-approximate: reclaim cores, Pliant-style.
+    for (int i = 0; i < n; ++i) {
+        const int t = (rrPointer + i) % n;
+        if (!act.taskFinished(t) && act.reclaimCore(t)) {
+            rrPointer = (t + 1) % n;
+            return {Decision::Kind::ReclaimCore, t};
+        }
+    }
+    return Decision{};
+}
+
+Decision
+LearnedRuntime::deescalate(double qos_us)
+{
+    const double target = (1.0 - prm.margin) * qos_us;
+    const int n = act.taskCount();
+
+    // Cores first, mirroring Pliant's revert ordering.
+    for (int i = 0; i < n; ++i) {
+        const int t = (rrPointer + i) % n;
+        if (!act.taskFinished(t) && act.reclaimedFrom(t) > 0 &&
+            act.returnCore(t)) {
+            rrPointer = (t + 1) % n;
+            return {Decision::Kind::ReturnCore, t};
+        }
+    }
+
+    // Step toward precise only when the shallower variant is either
+    // unexplored (optimistic probe) or learned to be safe.
+    for (int i = 0; i < n; ++i) {
+        const int t = (rrPointer + i) % n;
+        if (act.taskFinished(t))
+            continue;
+        const int cur = act.variantOf(t);
+        if (cur == 0)
+            continue;
+        const int next = cur - 1;
+        if (!explored(t, next) || estimate(t, next) <= target) {
+            act.switchVariant(t, next);
+            rrPointer = (t + 1) % n;
+            return {Decision::Kind::StepDown, t};
+        }
+    }
+    return Decision{};
+}
+
+} // namespace core
+} // namespace pliant

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Online-learned variant selection (the Section 6.5 limitation turned
+ * into an extension).
+ *
+ * Pliant requires offline profiling to know each application's
+ * ordered variant list. In public clouds the provider has no source
+ * access, so the paper suggests learning the relative impact of
+ * approximate versions at runtime. LearnedRuntime does exactly that:
+ * it knows only *how many* variants each application exposes (the
+ * signal numbers registered with the recompilation runtime), and
+ * learns an EWMA estimate of the interactive service's tail latency
+ * under each variant. Escalation probes unexplored variants
+ * incrementally; once the map is learned, the controller jumps
+ * directly to the least-approximate variant whose learned latency
+ * clears QoS with margin, avoiding Pliant's deliberate
+ * over-approximation (jump-to-most) at the cost of a longer
+ * convergence phase.
+ *
+ * Cross-application interactions are not modeled (each task's
+ * estimate is conditioned only on its own variant) — the same
+ * independence approximation the round-robin arbiter makes.
+ */
+
+#ifndef PLIANT_CORE_LEARNED_HH
+#define PLIANT_CORE_LEARNED_HH
+
+#include <vector>
+
+#include "core/actuator.hh"
+#include "core/runtime.hh"
+
+namespace pliant {
+namespace core {
+
+/** Tuning parameters of the learned controller. */
+struct LearnedParams
+{
+    /** EWMA smoothing factor for latency estimates. */
+    double alpha = 0.4;
+
+    /** Safety margin under QoS a learned variant must clear. */
+    double margin = 0.10;
+
+    /** Latency slack required before de-escalation probes. */
+    double slackThreshold = 0.10;
+
+    /** Consecutive slack intervals before a de-escalation. */
+    int revertHysteresis = 3;
+};
+
+/**
+ * Runtime that learns variant impact online instead of consuming an
+ * offline pareto ordering.
+ */
+class LearnedRuntime : public Runtime
+{
+  public:
+    LearnedRuntime(Actuator &actuator, LearnedParams params,
+                   std::uint64_t seed);
+
+    Decision onInterval(double p99_us, double qos_us) override;
+
+    std::string name() const override { return "learned"; }
+
+    /** Learned latency estimate for task t at variant v (us). */
+    double estimate(int task, int variant) const;
+
+    /** Whether task t's variant v has been observed at least once. */
+    bool explored(int task, int variant) const;
+
+    /** Number of decision intervals consumed so far. */
+    int intervals() const { return intervalCount; }
+
+  private:
+    struct TaskModel
+    {
+        std::vector<double> latencyUs; ///< EWMA per variant
+        std::vector<int> samples;      ///< observations per variant
+    };
+
+    /** Record the interval observation against active variants. */
+    void observe(double p99_us);
+
+    Decision escalate(double qos_us);
+    Decision deescalate(double qos_us);
+
+    Actuator &act;
+    LearnedParams prm;
+    util::Rng rng;
+    std::vector<TaskModel> models;
+    int rrPointer = 0;
+    int slackStreak = 0;
+    int intervalCount = 0;
+};
+
+} // namespace core
+} // namespace pliant
+
+#endif // PLIANT_CORE_LEARNED_HH

@@ -1,0 +1,61 @@
+#include "core/monitor.hh"
+
+#include <algorithm>
+
+namespace pliant {
+namespace core {
+
+PerformanceMonitor::PerformanceMonitor(std::size_t sample_budget,
+                                       std::uint64_t seed)
+    : budget(std::max<std::size_t>(sample_budget, 16)), rng(seed)
+{
+    window.reserve(budget);
+}
+
+void
+PerformanceMonitor::observe(double latency_us)
+{
+    ++offeredCount;
+    ++windowOffered;
+    longRun.add(latency_us);
+    if (window.size() < budget) {
+        window.push_back(latency_us);
+        return;
+    }
+    // Reservoir replacement keeps the window a uniform sample of the
+    // interval's traffic.
+    const std::uint64_t j = rng.uniformInt(windowOffered);
+    if (j < budget)
+        window[static_cast<std::size_t>(j)] = latency_us;
+}
+
+void
+PerformanceMonitor::observe(const std::vector<double> &latencies_us)
+{
+    for (double l : latencies_us)
+        observe(l);
+}
+
+IntervalReport
+PerformanceMonitor::closeInterval()
+{
+    IntervalReport rep;
+    rep.samples = window.size();
+    if (!window.empty()) {
+        util::PercentileWindow pw;
+        double sum = 0.0;
+        for (double l : window) {
+            pw.add(l);
+            sum += l;
+        }
+        rep.p99Us = pw.p99();
+        rep.p50Us = pw.p50();
+        rep.meanUs = sum / static_cast<double>(window.size());
+    }
+    window.clear();
+    windowOffered = 0;
+    return rep;
+}
+
+} // namespace core
+} // namespace pliant

@@ -1,0 +1,240 @@
+#include "core/runtime.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace core {
+
+std::string
+decisionName(Decision::Kind kind)
+{
+    switch (kind) {
+      case Decision::Kind::None:
+        return "none";
+      case Decision::Kind::SwitchToMost:
+        return "switch-to-most";
+      case Decision::Kind::ReclaimCore:
+        return "reclaim-core";
+      case Decision::Kind::ReturnCore:
+        return "return-core";
+      case Decision::Kind::StepDown:
+        return "step-down";
+      case Decision::Kind::GrowPartition:
+        return "grow-partition";
+      case Decision::Kind::ShrinkPartition:
+        return "shrink-partition";
+    }
+    return "unknown";
+}
+
+PliantRuntime::PliantRuntime(Actuator &actuator, RuntimeParams params,
+                             std::uint64_t seed)
+    : act(actuator), prm(params), rng(seed)
+{
+    if (prm.slackThreshold < 0 || prm.slackThreshold > 1)
+        util::fatal("slack threshold must be in [0, 1], got ",
+                    prm.slackThreshold);
+    // First victim is selected randomly (Section 4.4); subsequent
+    // selections proceed round-robin from there.
+    rrPointer = act.taskCount() > 0
+        ? static_cast<int>(rng.uniformInt(
+              static_cast<std::uint64_t>(act.taskCount())))
+        : 0;
+    requiredStreak = prm.revertHysteresis;
+}
+
+Decision
+PliantRuntime::onInterval(double p99_us, double qos_us)
+{
+    ++sinceRevert;
+    // Evaluate the outcome of a partition grow from the previous
+    // interval: if latency did not improve meaningfully, growing the
+    // partition is futile for this workload (the contention is not
+    // LLC-bound) and the violation path falls through to cores.
+    if (p99AtLastGrow >= 0.0) {
+        if (p99_us > 0.97 * p99AtLastGrow)
+            ++futileGrows;
+        else
+            futileGrows = 0;
+        p99AtLastGrow = -1.0;
+    }
+    lastP99 = p99_us;
+
+    if (p99_us > qos_us) {
+        ++violations;
+        slackStreak = 0;
+        metStreak = 0;
+        // A violation right after a revert means the reverted state
+        // was not actually safe: back off before trying again.
+        if (sinceRevert <= prm.punishWindow) {
+            requiredStreak =
+                std::min(requiredStreak * 2, prm.maxRevertStreak);
+        }
+        return actOnViolation();
+    }
+
+    if (++metStreak >= prm.decayInterval) {
+        metStreak = 0;
+        requiredStreak =
+            std::max(prm.revertHysteresis, requiredStreak - 1);
+    }
+
+    const double slack = 1.0 - p99_us / qos_us;
+    if (slack > prm.slackThreshold) {
+        if (++slackStreak >= requiredStreak) {
+            slackStreak = 0;
+            const Decision d = actOnSlack();
+            if (d.kind != Decision::Kind::None)
+                sinceRevert = 0;
+            return d;
+        }
+        return Decision{};
+    }
+    slackStreak = 0;
+    return Decision{};
+}
+
+bool
+PliantRuntime::canEscalate(int t) const
+{
+    return !act.taskFinished(t) && act.variantOf(t) < act.mostApproxOf(t);
+}
+
+bool
+PliantRuntime::canReclaim(int t) const
+{
+    // Only reclaim from fully-approximated, still-running tasks.
+    return !act.taskFinished(t) &&
+           act.variantOf(t) == act.mostApproxOf(t);
+}
+
+bool
+PliantRuntime::canReturn(int t) const
+{
+    return !act.taskFinished(t) && act.reclaimedFrom(t) > 0;
+}
+
+bool
+PliantRuntime::canStepDown(int t) const
+{
+    return !act.taskFinished(t) && act.variantOf(t) > 0;
+}
+
+int
+PliantRuntime::nextTask(int &pointer,
+                        bool (PliantRuntime::*eligible)(int) const) const
+{
+    const int n = act.taskCount();
+    for (int i = 0; i < n; ++i) {
+        const int t = (pointer + i) % n;
+        if ((this->*eligible)(t)) {
+            pointer = (t + 1) % n;
+            return t;
+        }
+    }
+    return -1;
+}
+
+int
+PliantRuntime::pickEscalationTarget()
+{
+    if (prm.arbiter == ArbiterKind::RoundRobin)
+        return nextTask(rrPointer, &PliantRuntime::canEscalate);
+
+    // Impact-aware: maximize contention relief per unit quality loss.
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int t = 0; t < act.taskCount(); ++t) {
+        if (!canEscalate(t))
+            continue;
+        const double cost = std::max(act.qualityCost(t), 1e-9);
+        const double score = act.reliefPotential(t) / cost;
+        if (score > best_score) {
+            best_score = score;
+            best = t;
+        }
+    }
+    return best;
+}
+
+int
+PliantRuntime::pickReclaimTarget()
+{
+    if (prm.arbiter == ArbiterKind::RoundRobin)
+        return nextTask(rrPointer, &PliantRuntime::canReclaim);
+
+    // Impact-aware: reclaim from the task currently exerting the
+    // least relief potential (its approximation helped least, so its
+    // cores are the cheapest contention fix).
+    int best = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < act.taskCount(); ++t) {
+        if (!canReclaim(t))
+            continue;
+        const double score = act.reliefPotential(t);
+        if (score < best_score) {
+            best_score = score;
+            best = t;
+        }
+    }
+    return best;
+}
+
+Decision
+PliantRuntime::actOnViolation()
+{
+    // First line of defense: approximation. Any task not yet at its
+    // most approximate variant is escalated straight there.
+    const int victim = pickEscalationTarget();
+    if (victim >= 0) {
+        act.switchVariant(victim, act.mostApproxOf(victim));
+        return {Decision::Kind::SwitchToMost, victim};
+    }
+
+    // Cache-trading extension: before taking cores, try to isolate
+    // one more LLC way for the interactive service — but only while
+    // growing keeps helping (two non-improving grows in a row stop
+    // the episode; core reclamation takes over).
+    if (prm.enableCachePartitioning && futileGrows < 2 &&
+        act.growServicePartition()) {
+        p99AtLastGrow = lastP99;
+        return {Decision::Kind::GrowPartition, -1};
+    }
+
+    // All tasks fully approximated: reclaim one core per interval.
+    const int donor = pickReclaimTarget();
+    if (donor >= 0 && act.reclaimCore(donor))
+        return {Decision::Kind::ReclaimCore, donor};
+    return Decision{};
+}
+
+Decision
+PliantRuntime::actOnSlack()
+{
+    // Revert in reverse order: return reclaimed cores first, ...
+    const int receiver = nextTask(rrPointer, &PliantRuntime::canReturn);
+    if (receiver >= 0 && act.returnCore(receiver))
+        return {Decision::Kind::ReturnCore, receiver};
+
+    // ... then release isolated LLC ways, ...
+    if (prm.enableCachePartitioning && act.servicePartitionWays() > 0 &&
+        act.shrinkServicePartition()) {
+        futileGrows = 0; // fresh episode next time
+        return {Decision::Kind::ShrinkPartition, -1};
+    }
+
+    // ... then step approximation back toward precise, one variant
+    // per interval, so the minimum quality is sacrificed.
+    const int beneficiary =
+        nextTask(rrPointer, &PliantRuntime::canStepDown);
+    if (beneficiary >= 0) {
+        act.switchVariant(beneficiary, act.variantOf(beneficiary) - 1);
+        return {Decision::Kind::StepDown, beneficiary};
+    }
+    return Decision{};
+}
+
+} // namespace core
+} // namespace pliant

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The Pliant runtime algorithm (Fig. 3 of the paper) and the precise
+ * baseline.
+ *
+ * Execution starts in precise mode with a fair core allocation. On a
+ * QoS violation the co-scheduled application is switched to its most
+ * approximate variant; if violations persist, cores are reclaimed
+ * one per decision interval. Once QoS is met with more than the
+ * slack threshold (10%) to spare, the runtime incrementally reverts:
+ * reclaimed cores are returned first, then approximation is stepped
+ * back toward precise. With multiple approximate applications, a
+ * round-robin arbiter spreads quality/resource sacrifice evenly; an
+ * impact-aware arbiter (the Section 6.5 extension) targets the app
+ * whose actuation buys the most contention relief per unit of
+ * quality loss.
+ */
+
+#ifndef PLIANT_CORE_RUNTIME_HH
+#define PLIANT_CORE_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/actuator.hh"
+#include "util/rng.hh"
+
+namespace pliant {
+namespace core {
+
+/** Kinds of runtimes the experiments compare. */
+enum class RuntimeKind { Precise, Pliant, Learned };
+
+/** Multi-application arbitration policies. */
+enum class ArbiterKind { RoundRobin, ImpactAware };
+
+/** Tuning parameters of the Pliant control loop. */
+struct RuntimeParams
+{
+    /** Latency slack (fraction of QoS) required before reverting. */
+    double slackThreshold = 0.10;
+
+    /**
+     * Consecutive high-slack intervals required before a revert
+     * step. Dampens ping-ponging between states (the overhead the
+     * paper attributes to lowering the slack threshold too far).
+     */
+    int revertHysteresis = 2;
+
+    /**
+     * Adaptive backoff: when a revert is punished by a violation
+     * within `punishWindow` intervals, the required slack streak
+     * doubles (capped at maxRevertStreak); it decays by one after
+     * every `decayInterval` consecutive met intervals. This is how
+     * the runtime finds the least-approximate stable state instead
+     * of oscillating around the QoS boundary.
+     */
+    int punishWindow = 3;
+    int maxRevertStreak = 16;
+    int decayInterval = 12;
+
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
+
+    /**
+     * Section 6.5 extension: when enabled, the violation path tries
+     * to isolate LLC ways for the interactive service *before*
+     * reclaiming cores (approximation -> cache -> cores), and the
+     * slack path undoes actuations in the reverse order.
+     */
+    bool enableCachePartitioning = false;
+};
+
+/** What the runtime decided at one interval, for tracing/tests. */
+struct Decision
+{
+    enum class Kind
+    {
+        None,           ///< QoS met, insufficient slack: hold state
+        SwitchToMost,   ///< violation: one app to most-approximate
+        ReclaimCore,    ///< violation at most-approx: take one core
+        ReturnCore,     ///< slack: give one core back
+        StepDown,       ///< slack: one app one variant toward precise
+        GrowPartition,  ///< violation: isolate one more LLC way
+        ShrinkPartition ///< slack: release one isolated LLC way
+    };
+    Kind kind = Kind::None;
+    int task = -1; ///< which app was actuated (-1 if none)
+};
+
+/** Printable name of a decision kind. */
+std::string decisionName(Decision::Kind kind);
+
+/**
+ * Base interface: a runtime is invoked once per decision interval
+ * with the monitor's tail estimate.
+ */
+class Runtime
+{
+  public:
+    virtual ~Runtime() = default;
+
+    /**
+     * One decision-interval step.
+     * @param p99_us monitored tail latency of the interactive service.
+     * @param qos_us the service's QoS target.
+     */
+    virtual Decision onInterval(double p99_us, double qos_us) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Baseline: static fair allocation, always precise. Never actuates.
+ */
+class PreciseRuntime : public Runtime
+{
+  public:
+    Decision
+    onInterval(double, double) override
+    {
+        return Decision{};
+    }
+
+    std::string name() const override { return "precise"; }
+};
+
+/**
+ * The Pliant controller over an Actuator.
+ */
+class PliantRuntime : public Runtime
+{
+  public:
+    PliantRuntime(Actuator &actuator, RuntimeParams params,
+                  std::uint64_t seed);
+
+    Decision onInterval(double p99_us, double qos_us) override;
+
+    std::string name() const override { return "pliant"; }
+
+    const RuntimeParams &params() const { return prm; }
+
+    /** Total decisions of each kind, for the effectiveness breakdown. */
+    int violationCount() const { return violations; }
+
+  private:
+    /** Violation path: approximate first, then reclaim cores. */
+    Decision actOnViolation();
+
+    /** Slack path: return cores first, then step approximation down. */
+    Decision actOnSlack();
+
+    /** Next unfinished task index in round-robin order, or -1. */
+    int nextTask(int &pointer, bool (PliantRuntime::*eligible)(int) const)
+        const;
+
+    bool canEscalate(int t) const;
+    bool canReclaim(int t) const;
+    bool canReturn(int t) const;
+    bool canStepDown(int t) const;
+
+    /** Pick the victim for escalation under the configured arbiter. */
+    int pickEscalationTarget();
+    int pickReclaimTarget();
+
+    Actuator &act;
+    RuntimeParams prm;
+    util::Rng rng;
+    int rrPointer;
+    int violations = 0;
+    int slackStreak = 0;
+    int requiredStreak;
+    int sinceRevert = 1 << 20;
+    int metStreak = 0;
+    /** p99 observed when the partition was last grown (<0: none). */
+    double p99AtLastGrow = -1.0;
+    /** Consecutive partition grows that failed to improve latency. */
+    int futileGrows = 0;
+    double lastP99 = 0.0;
+};
+
+} // namespace core
+} // namespace pliant
+
+#endif // PLIANT_CORE_RUNTIME_HH

@@ -1,0 +1,22 @@
+#include "dynrec/instrumented.hh"
+
+namespace pliant {
+namespace dynrec {
+
+InstrumentedKernel::InstrumentedKernel(
+    std::unique_ptr<kernels::ApproxKernel> k)
+    : kernel(std::move(k)), knobSpace(kernel->knobSpace())
+{
+    for (std::size_t i = 0; i < knobSpace.size(); ++i) {
+        const kernels::Knobs knobs = knobSpace[i];
+        kernels::ApproxKernel *kp = kernel.get();
+        const int idx = table.registerVariant(
+            [kp, knobs]() { return kp->run(knobs); },
+            knobs.describe());
+        dispatcher.mapSignal(signalFor(idx),
+                             [this, idx]() { table.switchTo(idx); });
+    }
+}
+
+} // namespace dynrec
+} // namespace pliant

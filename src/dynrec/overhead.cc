@@ -1,0 +1,29 @@
+#include "dynrec/overhead.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace dynrec {
+
+OverheadModel::OverheadModel(OverheadParams params, std::uint64_t seed)
+    : prm(params), rng(seed)
+{
+    if (prm.meanOverhead < 0 || prm.maxOverhead < prm.meanOverhead)
+        util::fatal("invalid overhead params: mean ", prm.meanOverhead,
+                    " max ", prm.maxOverhead);
+}
+
+double
+OverheadModel::drawAppOverhead()
+{
+    // Lognormal with cv 0.5 around the mean reproduces the skewed
+    // distribution the paper reports (most apps near the mean, a few
+    // like water_spatial near the max).
+    const double draw = rng.lognormalMeanCv(prm.meanOverhead, 0.5);
+    return std::clamp(draw, prm.minOverhead, prm.maxOverhead);
+}
+
+} // namespace dynrec
+} // namespace pliant

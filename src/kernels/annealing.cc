@@ -1,0 +1,145 @@
+#include "kernels/annealing.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+CannealKernel::CannealKernel(std::uint64_t seed_in, AnnealingConfig config)
+    : cfg(config), seed(seed_in)
+{
+    util::Rng rng(seed ^ 0xca11);
+    net = makeNetlist(rng, cfg.elements, cfg.avgDegree);
+}
+
+std::vector<Knobs>
+CannealKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{1, Precision::Double, true});
+    space.push_back(Knobs{2, Precision::Float, true});
+    space.push_back(Knobs{4, Precision::Float, true});
+    return space;
+}
+
+namespace {
+
+/** Manhattan wire length of element `e` at location loc[e]. */
+template <typename T>
+T
+elementCost(const Netlist &net, const std::vector<std::uint32_t> &loc,
+            std::size_t e)
+{
+    const std::size_t side = net.gridSide;
+    const T ex = static_cast<T>(loc[e] % side);
+    const T ey = static_cast<T>(loc[e] / side);
+    T cost = 0;
+    for (std::uint32_t nbr : net.adjacency[e]) {
+        const T nx = static_cast<T>(loc[nbr] % side);
+        const T ny = static_cast<T>(loc[nbr] / side);
+        cost += std::abs(ex - nx) + std::abs(ey - ny);
+    }
+    return cost;
+}
+
+template <typename T>
+double
+anneal(const Netlist &net, const AnnealingConfig &cfg, util::Rng &rng,
+       const Knobs &knobs)
+{
+    const std::size_t n = net.elements;
+    // loc[e] = grid cell of element e. Start from a deterministic
+    // random placement (Fisher-Yates with the kernel's own stream) so
+    // the annealer has real optimization work to do.
+    std::vector<std::uint32_t> loc(n);
+    for (std::size_t e = 0; e < n; ++e)
+        loc[e] = static_cast<std::uint32_t>(e);
+    for (std::size_t e = n - 1; e > 0; --e) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniformInt(e + 1));
+        std::swap(loc[e], loc[j]);
+    }
+
+    // With sync elision, cost deltas are computed against a stale
+    // snapshot of locations refreshed once per temperature step —
+    // modeling lock-free threads racing on the location array.
+    std::vector<std::uint32_t> stale(loc);
+
+    double temperature = 40.0;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    for (std::size_t step = 0; step < cfg.temperatureSteps; ++step) {
+        if (knobs.elideSync)
+            stale = loc;
+        const std::vector<std::uint32_t> &view =
+            knobs.elideSync ? stale : loc;
+
+        for (std::size_t m = 0; m < cfg.movesPerStep; m += p) {
+            const std::size_t a =
+                static_cast<std::size_t>(rng.uniformInt(n));
+            const std::size_t b =
+                static_cast<std::size_t>(rng.uniformInt(n));
+            if (a == b)
+                continue;
+
+            // Cost of a and b before the swap, from the (possibly
+            // stale) view; cost after the swap computed by swapping in
+            // the real array, so elided-sync deltas can be wrong.
+            const T before = elementCost<T>(net, view, a) +
+                             elementCost<T>(net, view, b);
+            std::swap(loc[a], loc[b]);
+            const T after = elementCost<T>(net, loc, a) +
+                            elementCost<T>(net, loc, b);
+
+            const double delta = static_cast<double>(after - before);
+            const bool accept =
+                delta <= 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature);
+            if (!accept)
+                std::swap(loc[a], loc[b]); // revert
+        }
+        temperature *= 0.82;
+    }
+
+    // Final total wire length (each net edge counted from both ends).
+    double total = 0.0;
+    for (std::size_t e = 0; e < n; ++e)
+        total += static_cast<double>(elementCost<double>(net, loc, e));
+    return total;
+}
+
+} // namespace
+
+double
+CannealKernel::execute(const Knobs &knobs)
+{
+    util::Rng rng(seed ^ 0xa11ea1);
+    return knobs.precision == Precision::Float
+        ? anneal<float>(net, cfg, rng, knobs)
+        : anneal<double>(net, cfg, rng, knobs);
+}
+
+double
+CannealKernel::quality(double approx_metric, double precise_metric)
+{
+    // Wire length is a cost: only report quality loss when the
+    // approximate placement is *worse* (higher cost). An approximate
+    // run that happens to find a better placement has no quality loss.
+    if (approx_metric <= precise_metric)
+        return 0.0;
+    const double rel =
+        (approx_metric - precise_metric) / std::max(precise_metric, 1e-9);
+    return std::min(rel, 1.0);
+}
+
+} // namespace kernels
+} // namespace pliant

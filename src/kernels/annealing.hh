@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Canneal-style simulated-annealing placement kernel.
+ *
+ * Stands in for PARSEC's canneal: elements of a synthetic netlist are
+ * placed on a grid and pairwise-swapped under a cooling schedule to
+ * minimize total wire length. This kernel exposes all three
+ * approximation techniques:
+ *
+ *  - loop perforation: evaluate 1/p of the swap moves,
+ *  - sync elision: swaps are committed against stale cost estimates
+ *    (the racy variant canneal's lock-free version exhibits), which
+ *    also produces the mild nondeterministic quality loss the paper
+ *    reports for canneal + memcached (5.4%),
+ *  - lower precision: wire-length arithmetic in float.
+ *
+ * The paper notes that perforating annealing iterations whose proposed
+ * move would be rejected costs no quality — this kernel reproduces
+ * that effect naturally because rejected moves do no useful work.
+ */
+
+#ifndef PLIANT_KERNELS_ANNEALING_HH
+#define PLIANT_KERNELS_ANNEALING_HH
+
+#include <cstdint>
+
+#include "kernels/kernel.hh"
+#include "kernels/synthetic.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Problem-size configuration for the annealer. */
+struct AnnealingConfig
+{
+    std::size_t elements = 4096;
+    std::size_t avgDegree = 4;
+    std::size_t temperatureSteps = 20;
+    std::size_t movesPerStep = 4096;
+};
+
+/**
+ * Simulated-annealing netlist placement; output metric is the final
+ * total wire length (lower is better).
+ */
+class CannealKernel : public ApproxKernel
+{
+  public:
+    explicit CannealKernel(std::uint64_t seed,
+                           AnnealingConfig cfg = AnnealingConfig{});
+
+    std::string name() const override { return "canneal"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    AnnealingConfig cfg;
+    Netlist net;
+    std::uint64_t seed;
+};
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_ANNEALING_HH

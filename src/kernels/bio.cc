@@ -1,0 +1,342 @@
+#include "kernels/bio.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// SnpKernel
+// ---------------------------------------------------------------------
+
+SnpKernel::SnpKernel(std::uint64_t seed, SnpConfig config) : cfg(config)
+{
+    util::Rng rng(seed ^ 0x55b9);
+    data = makeGenotypes(rng, cfg.individuals, cfg.snps, cfg.causal);
+}
+
+std::vector<Knobs>
+SnpKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+    }
+    space.push_back(Knobs{1, Precision::Double, true});
+    space.push_back(Knobs{1, Precision::Float, false});
+    return space;
+}
+
+double
+SnpKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = data.individuals;
+    const std::size_t m = data.snps;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    std::vector<double> chi2(m, 0.0);
+    for (std::size_t s = 0; s < m; ++s) {
+        // 2x3 contingency table: phenotype x genotype {0,1,2}.
+        double table[2][3] = {{0, 0, 0}, {0, 0, 0}};
+        double total = 0;
+        for (std::size_t i = 0; i < n; i += p) {
+            const std::uint8_t g = data.genotypes[i * m + s];
+            const std::uint8_t y = data.phenotype[i];
+            table[y][g] += 1.0;
+            total += 1.0;
+        }
+        if (total == 0)
+            continue;
+
+        double rowSum[2] = {0, 0};
+        double colSum[3] = {0, 0, 0};
+        for (int r = 0; r < 2; ++r)
+            for (int c = 0; c < 3; ++c) {
+                rowSum[r] += table[r][c];
+                colSum[c] += table[r][c];
+            }
+
+        double stat = 0.0;
+        for (int r = 0; r < 2; ++r) {
+            for (int c = 0; c < 3; ++c) {
+                const double expected = rowSum[r] * colSum[c] / total;
+                if (expected <= 0)
+                    continue;
+                double diff = std::abs(table[r][c] - expected);
+                // Yates continuity correction — the "refinement pass"
+                // that sync elision drops.
+                if (!knobs.elideSync)
+                    diff = std::max(0.0, diff - 0.5);
+                stat += diff * diff / expected;
+            }
+        }
+        chi2[s] = stat;
+    }
+
+    // Top-K most associated SNPs.
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + cfg.topK,
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                          return chi2[a] > chi2[b];
+                      });
+    lastTopK.assign(order.begin(), order.begin() + cfg.topK);
+    if (knobs.isPrecise())
+        preciseTopK = lastTopK;
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cfg.topK; ++i)
+        sum += chi2[lastTopK[i]];
+    return sum;
+}
+
+double
+SnpKernel::quality(double, double)
+{
+    // Set disagreement between precise and approximate top-K lists.
+    if (preciseTopK.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t s : lastTopK) {
+        if (std::find(preciseTopK.begin(), preciseTopK.end(), s) !=
+            preciseTopK.end())
+            ++hits;
+    }
+    return 1.0 - static_cast<double>(hits) /
+                     static_cast<double>(preciseTopK.size());
+}
+
+// ---------------------------------------------------------------------
+// SmithWatermanKernel
+// ---------------------------------------------------------------------
+
+SmithWatermanKernel::SmithWatermanKernel(std::uint64_t seed,
+                                         AlignConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0xa119);
+    query = makeSequence(rng, cfg.queryLen);
+    for (std::size_t t = 0; t < cfg.targets; ++t) {
+        // Half the database is homologous (mutated query fragments),
+        // half is random — the realistic hit/miss mix of a search.
+        if (t % 2 == 0) {
+            targets.push_back(mutateSequence(rng, query, 0.15));
+        } else {
+            targets.push_back(makeSequence(rng, cfg.targetLen));
+        }
+    }
+}
+
+std::vector<Knobs>
+SmithWatermanKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8, 12})
+        space.push_back(Knobs{p, Precision::Double, false});
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{2, Precision::Float, false});
+    return space;
+}
+
+namespace {
+
+/**
+ * Banded Smith-Waterman score. band = 0 means full dynamic program;
+ * otherwise only cells with |i - j*rows/cols| <= band are computed.
+ */
+int
+swScore(const std::string &a, const std::string &b, std::size_t band)
+{
+    const std::size_t rows = a.size();
+    const std::size_t cols = b.size();
+    constexpr int kMatch = 2, kMismatch = -1, kGap = -1;
+
+    std::vector<int> prev(cols + 1, 0), curr(cols + 1, 0);
+    int best = 0;
+    for (std::size_t i = 1; i <= rows; ++i) {
+        curr[0] = 0;
+        std::size_t j_lo = 1, j_hi = cols;
+        if (band > 0) {
+            const std::size_t diag = i * cols / std::max<std::size_t>(
+                rows, 1);
+            j_lo = diag > band ? diag - band : 1;
+            j_hi = std::min(cols, diag + band);
+            // Cells outside the band read as 0; clear boundary.
+            if (j_lo > 1)
+                curr[j_lo - 1] = 0;
+        }
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const int sub = a[i - 1] == b[j - 1] ? kMatch : kMismatch;
+            int v = prev[j - 1] + sub;
+            v = std::max(v, prev[j] + kGap);
+            v = std::max(v, curr[j - 1] + kGap);
+            v = std::max(v, 0);
+            curr[j] = v;
+            best = std::max(best, v);
+        }
+        if (band > 0 && j_hi < cols)
+            curr[j_hi + 1] = 0;
+        std::swap(prev, curr);
+    }
+    return best;
+}
+
+} // namespace
+
+double
+SmithWatermanKernel::execute(const Knobs &knobs)
+{
+    // Perforation narrows the band: p = 1 full DP, p = k keeps a band
+    // of width len/k around the main diagonal. Float precision has no
+    // effect on integer alignment scores, but mirrors the real suite
+    // where only some knobs apply to some codes — it simply reuses a
+    // slightly wider band.
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    const std::size_t band =
+        p <= 1 ? 0 : std::max<std::size_t>(4, cfg.targetLen / (2 * p));
+
+    double total = 0.0;
+    for (const auto &target : targets)
+        total += swScore(query, target, band);
+    return total;
+}
+
+double
+SmithWatermanKernel::quality(double approx_metric, double precise_metric)
+{
+    // Banding can only lower local-alignment scores; quality loss is
+    // the relative score shortfall.
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min(
+        (precise_metric - approx_metric) / std::max(precise_metric, 1e-9),
+        1.0);
+}
+
+// ---------------------------------------------------------------------
+// ViterbiKernel
+// ---------------------------------------------------------------------
+
+ViterbiKernel::ViterbiKernel(std::uint64_t seed, HmmConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x4177);
+    const std::size_t s = cfg.states;
+    const std::size_t a = cfg.alphabet;
+
+    auto randomLogDist = [&](std::vector<double> &v, std::size_t n,
+                             std::size_t stride, std::size_t row) {
+        double norm = 0.0;
+        std::vector<double> raw(n);
+        for (auto &x : raw) {
+            // Peaked (heavy-tailed) probabilities, so that beam
+            // pruning occasionally discards the true best path and
+            // quality degrades gradually with the beam width.
+            const double u = rng.uniform(0.01, 1.0);
+            x = u * u * u;
+            norm += x;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            v[row * stride + i] = std::log(raw[i] / norm);
+    };
+
+    logTrans.resize(s * s);
+    logEmit.resize(s * a);
+    logInit.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+        randomLogDist(logTrans, s, s, i);
+        randomLogDist(logEmit, a, a, i);
+    }
+    randomLogDist(logInit, s, s, 0);
+    logInit.resize(s); // row 0 of an s-stride fill
+
+    sequences.resize(cfg.sequences);
+    for (auto &seq : sequences) {
+        seq.resize(cfg.seqLen);
+        for (auto &sym : seq)
+            sym = static_cast<std::uint8_t>(rng.uniformInt(a));
+    }
+}
+
+std::vector<Knobs>
+ViterbiKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    return space;
+}
+
+double
+ViterbiKernel::execute(const Knobs &knobs)
+{
+    const std::size_t s = cfg.states;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    // Beam width: keep the states/p best states per column.
+    const std::size_t beam = std::max<std::size_t>(2, s / p);
+    const bool useFloat = knobs.precision == Precision::Float;
+
+    double total = 0.0;
+    std::vector<double> prev(s), curr(s);
+    std::vector<std::size_t> live(s);
+
+    for (const auto &seq : sequences) {
+        for (std::size_t i = 0; i < s; ++i)
+            prev[i] = logInit[i] + logEmit[i * cfg.alphabet + seq[0]];
+
+        for (std::size_t t = 1; t < seq.size(); ++t) {
+            // Determine the live (unpruned) states from prev.
+            std::iota(live.begin(), live.end(), 0);
+            if (beam < s) {
+                std::partial_sort(
+                    live.begin(), live.begin() + beam, live.end(),
+                    [&](std::size_t x, std::size_t y) {
+                        return prev[x] > prev[y];
+                    });
+                live.resize(beam);
+            }
+
+            for (std::size_t j = 0; j < s; ++j) {
+                double best = -std::numeric_limits<double>::infinity();
+                for (std::size_t idx = 0; idx < live.size(); ++idx) {
+                    const std::size_t i = live[idx];
+                    double v = prev[i] + logTrans[i * s + j];
+                    if (useFloat)
+                        v = static_cast<float>(v);
+                    best = std::max(best, v);
+                }
+                curr[j] = best + logEmit[j * cfg.alphabet + seq[t]];
+            }
+            std::swap(prev, curr);
+            live.assign(s, 0);
+            live.resize(s);
+        }
+
+        total += *std::max_element(prev.begin(), prev.end());
+    }
+    return total;
+}
+
+double
+ViterbiKernel::quality(double approx_metric, double precise_metric)
+{
+    // Log-probabilities are negative; beam pruning can only make the
+    // best path score worse (more negative).
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min((precise_metric - approx_metric) /
+                        std::max(std::abs(precise_metric), 1e-9),
+                    1.0);
+}
+
+} // namespace kernels
+} // namespace pliant

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Bioinformatics kernels: SNP chi-square association, Smith-Waterman
+ * local alignment, and Viterbi scoring against a profile HMM.
+ *
+ * These stand in for MineBench's SNP and BioPerf's Blast/Fasta
+ * (alignment) and Hmmer (profile HMM search). Perforation subsamples
+ * individuals (SNP), narrows the alignment band (Smith-Waterman), or
+ * prunes low-scoring states (Viterbi beam).
+ */
+
+#ifndef PLIANT_KERNELS_BIO_HH
+#define PLIANT_KERNELS_BIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+#include "kernels/synthetic.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Configuration for the SNP association kernel. */
+struct SnpConfig
+{
+    std::size_t individuals = 1500;
+    std::size_t snps = 800;
+    std::size_t causal = 20;
+    std::size_t topK = 25;
+};
+
+/**
+ * Chi-square case/control association across all SNPs, reporting the
+ * top-K most associated. Perforation subsamples individuals 1/p;
+ * sync elision skips the continuity correction / exact recount pass.
+ * Quality: fraction of the precise top-K missing from the approximate
+ * top-K (set disagreement).
+ */
+class SnpKernel : public ApproxKernel
+{
+  public:
+    explicit SnpKernel(std::uint64_t seed, SnpConfig cfg = SnpConfig{});
+
+    std::string name() const override { return "snp"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    SnpConfig cfg;
+    GenotypeData data;
+    std::vector<std::size_t> lastTopK;
+    std::vector<std::size_t> preciseTopK;
+};
+
+/** Configuration for the Smith-Waterman kernel. */
+struct AlignConfig
+{
+    std::size_t queryLen = 400;
+    std::size_t targets = 48;
+    std::size_t targetLen = 500;
+};
+
+/**
+ * Smith-Waterman local alignment of one query against a database of
+ * targets. Perforation applies banding: only cells within a band of
+ * width len/p around the diagonal are computed (p = 1 is full DP).
+ * Output metric: sum of best alignment scores; quality = relative
+ * score shortfall.
+ */
+class SmithWatermanKernel : public ApproxKernel
+{
+  public:
+    explicit SmithWatermanKernel(std::uint64_t seed,
+                                 AlignConfig cfg = AlignConfig{});
+
+    std::string name() const override { return "smith_waterman"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    AlignConfig cfg;
+    std::string query;
+    std::vector<std::string> targets;
+};
+
+/** Configuration for the Viterbi/HMM kernel. */
+struct HmmConfig
+{
+    std::size_t states = 48;
+    std::size_t seqLen = 260;
+    std::size_t sequences = 40;
+    std::size_t alphabet = 20; // amino acids
+};
+
+/**
+ * Viterbi decoding of observation sequences against a random profile
+ * HMM. Perforation keeps only the states/p highest-scoring states per
+ * column (beam pruning). Output metric: total best-path log
+ * probability; quality = relative log-prob shortfall.
+ */
+class ViterbiKernel : public ApproxKernel
+{
+  public:
+    explicit ViterbiKernel(std::uint64_t seed, HmmConfig cfg = HmmConfig{});
+
+    std::string name() const override { return "viterbi_hmm"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    HmmConfig cfg;
+    std::vector<double> logTrans; // states x states
+    std::vector<double> logEmit;  // states x alphabet
+    std::vector<double> logInit;  // states
+    std::vector<std::vector<std::uint8_t>> sequences;
+};
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_BIO_HH

@@ -1,0 +1,450 @@
+#include "kernels/clustering.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pliant {
+namespace kernels {
+
+namespace {
+
+/** Squared Euclidean distance in the requested precision. */
+template <typename T>
+double
+sqDist(const double *a, const double *b, std::size_t dim)
+{
+    T acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+        const T diff = static_cast<T>(a[d]) - static_cast<T>(b[d]);
+        acc += diff * diff;
+    }
+    return static_cast<double>(acc);
+}
+
+double
+sqDistP(const double *a, const double *b, std::size_t dim, Precision prec)
+{
+    return prec == Precision::Float ? sqDist<float>(a, b, dim)
+                                    : sqDist<double>(a, b, dim);
+}
+
+/** WCSS of `points` against `centers` under nearest assignment. */
+double
+wcss(const Matrix &points, const std::vector<double> &centers,
+     std::size_t k)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.rows; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+            best = std::min(
+                best,
+                sqDist<double>(&points.data[i * points.cols],
+                               &centers[c * points.cols], points.cols));
+        }
+        total += best;
+    }
+    return total;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// KmeansKernel
+// ---------------------------------------------------------------------
+
+KmeansKernel::KmeansKernel(std::uint64_t seed, ClusteringConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed);
+    data = makeBlobs(rng, cfg.points, cfg.dims, cfg.clusters);
+}
+
+std::vector<Knobs>
+KmeansKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 5, 6, 8, 10, 12}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    return space;
+}
+
+double
+KmeansKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = cfg.points;
+    const std::size_t dim = cfg.dims;
+    const std::size_t k = cfg.clusters;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    // Deterministic initial centers: first k points.
+    std::vector<double> centers(k * dim);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < dim; ++d)
+            centers[c * dim + d] = data.points.at(c * (n / k), d);
+
+    std::vector<std::size_t> assign(n, 0);
+    std::vector<double> sums(k * dim);
+    std::vector<std::size_t> counts(k);
+
+    for (std::size_t it = 0; it < cfg.iterations; ++it) {
+        // Assignment step; perforated points keep their previous label.
+        // Rotate the perforation phase so all points are refreshed
+        // eventually — the classic "execute every p-th iteration" form.
+        for (std::size_t i = it % p; i < n; i += p) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d2 =
+                    sqDistP(&data.points.data[i * dim],
+                            &centers[c * dim], dim, knobs.precision);
+                if (d2 < best) {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            assign[i] = best_c;
+        }
+
+        // Update step over all points (uses possibly-stale labels).
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = assign[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[c * dim + d] += data.points.at(i, d);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dim; ++d)
+                centers[c * dim + d] =
+                    sums[c * dim + d] / static_cast<double>(counts[c]);
+        }
+    }
+    return wcss(data.points, centers, k);
+}
+
+// ---------------------------------------------------------------------
+// FuzzyKmeansKernel
+// ---------------------------------------------------------------------
+
+FuzzyKmeansKernel::FuzzyKmeansKernel(std::uint64_t seed,
+                                     ClusteringConfig config)
+    : cfg(config)
+{
+    // Fuzzy membership updates are ~k times costlier per point, so use
+    // a smaller default point count to keep run times comparable.
+    cfg.points = std::min<std::size_t>(cfg.points, 3000);
+    cfg.iterations = std::min<std::size_t>(cfg.iterations, 20);
+    util::Rng rng(seed ^ 0xf00d);
+    data = makeBlobs(rng, cfg.points, cfg.dims, cfg.clusters);
+}
+
+std::vector<Knobs>
+FuzzyKmeansKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 5, 6, 8, 10}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    return space;
+}
+
+double
+FuzzyKmeansKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = cfg.points;
+    const std::size_t dim = cfg.dims;
+    const std::size_t k = cfg.clusters;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    std::vector<double> centers(k * dim);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < dim; ++d)
+            centers[c * dim + d] = data.points.at(c * (n / k), d);
+
+    // Membership matrix u[i][c], initialized to hard nearest-center.
+    std::vector<double> u(n * k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            const double d2 = sqDist<double>(
+                &data.points.data[i * dim], &centers[c * dim], dim);
+            if (d2 < best) {
+                best = d2;
+                best_c = c;
+            }
+        }
+        u[i * k + best_c] = 1.0;
+    }
+
+    for (std::size_t it = 0; it < cfg.iterations; ++it) {
+        // Membership update (perforated; fuzzifier m = 2 so weights
+        // are inverse-squared-distance normalized).
+        for (std::size_t i = it % p; i < n; i += p) {
+            double norm = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d2 = std::max(
+                    sqDistP(&data.points.data[i * dim],
+                            &centers[c * dim], dim, knobs.precision),
+                    1e-12);
+                u[i * k + c] = 1.0 / d2;
+                norm += u[i * k + c];
+            }
+            for (std::size_t c = 0; c < k; ++c)
+                u[i * k + c] /= norm;
+        }
+
+        // Center update with m = 2 (weights u^2). Perforation skips
+        // the same points here as in the membership step — the
+        // omitted points simply do not contribute this iteration.
+        for (std::size_t c = 0; c < k; ++c) {
+            double wsum = 0.0;
+            std::vector<double> acc(dim, 0.0);
+            for (std::size_t i = it % p; i < n; i += p) {
+                const double w = u[i * k + c] * u[i * k + c];
+                wsum += w;
+                for (std::size_t d = 0; d < dim; ++d)
+                    acc[d] += w * data.points.at(i, d);
+            }
+            if (wsum > 0) {
+                for (std::size_t d = 0; d < dim; ++d)
+                    centers[c * dim + d] = acc[d] / wsum;
+            }
+        }
+    }
+
+    // Fuzzy objective J = sum_i sum_c u^2 d2.
+    double objective = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < k; ++c) {
+            const double d2 = sqDist<double>(
+                &data.points.data[i * dim], &centers[c * dim], dim);
+            objective += u[i * k + c] * u[i * k + c] * d2;
+        }
+    return objective;
+}
+
+// ---------------------------------------------------------------------
+// BirchKernel
+// ---------------------------------------------------------------------
+
+BirchKernel::BirchKernel(std::uint64_t seed, ClusteringConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0xb1c4);
+    data = makeBlobs(rng, cfg.points, cfg.dims, cfg.clusters);
+}
+
+std::vector<Knobs>
+BirchKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8})
+        space.push_back(Knobs{p, Precision::Double, false});
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{2, Precision::Float, false});
+    space.push_back(Knobs{4, Precision::Float, false});
+    return space;
+}
+
+double
+BirchKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = cfg.points;
+    const std::size_t dim = cfg.dims;
+    const std::size_t k = cfg.clusters;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    // CF entry: (count, linear sum). Threshold on centroid distance.
+    struct Cf
+    {
+        double count = 0;
+        std::vector<double> sum;
+    };
+    std::vector<Cf> entries;
+    const double threshold2 = 2.0 * 2.0;
+
+    for (std::size_t i = 0; i < n; i += p) {
+        const double *pt = &data.points.data[i * dim];
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_e = 0;
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            std::vector<double> centroid(dim);
+            for (std::size_t d = 0; d < dim; ++d)
+                centroid[d] = entries[e].sum[d] / entries[e].count;
+            const double d2 = sqDistP(pt, centroid.data(), dim,
+                                      knobs.precision);
+            if (d2 < best) {
+                best = d2;
+                best_e = e;
+            }
+        }
+        if (!entries.empty() && best < threshold2) {
+            entries[best_e].count += 1;
+            for (std::size_t d = 0; d < dim; ++d)
+                entries[best_e].sum[d] += pt[d];
+        } else {
+            Cf cf;
+            cf.count = 1;
+            cf.sum.assign(pt, pt + dim);
+            entries.push_back(std::move(cf));
+        }
+    }
+
+    // Global phase: weighted k-means over CF centroids.
+    const std::size_t m = entries.size();
+    std::vector<double> cents(m * dim);
+    std::vector<double> weights(m);
+    for (std::size_t e = 0; e < m; ++e) {
+        weights[e] = entries[e].count;
+        for (std::size_t d = 0; d < dim; ++d)
+            cents[e * dim + d] = entries[e].sum[d] / entries[e].count;
+    }
+
+    std::vector<double> centers(k * dim);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < dim; ++d)
+            centers[c * dim + d] =
+                cents[(c % m) * dim + d];
+
+    std::vector<std::size_t> assign(m, 0);
+    for (std::size_t it = 0; it < 15; ++it) {
+        for (std::size_t e = 0; e < m; ++e) {
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d2 = sqDist<double>(
+                    &cents[e * dim], &centers[c * dim], dim);
+                if (d2 < best) {
+                    best = d2;
+                    assign[e] = c;
+                }
+            }
+        }
+        std::vector<double> sums(k * dim, 0.0);
+        std::vector<double> wsum(k, 0.0);
+        for (std::size_t e = 0; e < m; ++e) {
+            wsum[assign[e]] += weights[e];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[assign[e] * dim + d] +=
+                    weights[e] * cents[e * dim + d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (wsum[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < dim; ++d)
+                centers[c * dim + d] = sums[c * dim + d] / wsum[c];
+        }
+    }
+    return wcss(data.points, centers, k);
+}
+
+double
+BirchKernel::quality(double approx_metric, double precise_metric)
+{
+    // Compare RMS point-to-center distances rather than raw WCSS: the
+    // reference clustering is very tight, so the squared metric blows
+    // tiny per-point displacements into huge relative errors.
+    const double rms_a = std::sqrt(std::max(approx_metric, 0.0));
+    const double rms_p = std::sqrt(std::max(precise_metric, 0.0));
+    if (rms_a <= rms_p)
+        return 0.0;
+    return std::min((rms_a - rms_p) / std::max(rms_p, 1e-9), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// StreamclusterKernel
+// ---------------------------------------------------------------------
+
+StreamclusterKernel::StreamclusterKernel(std::uint64_t seed_in,
+                                         ClusteringConfig config)
+    : cfg(config), seed(seed_in)
+{
+    cfg.points = std::min<std::size_t>(cfg.points, 4000);
+    util::Rng rng(seed ^ 0x57c1);
+    data = makeBlobs(rng, cfg.points, cfg.dims, cfg.clusters);
+}
+
+std::vector<Knobs>
+StreamclusterKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8, 10})
+        space.push_back(Knobs{p, Precision::Double, false});
+    for (int p : {1, 2, 4})
+        space.push_back(Knobs{p, Precision::Float, false});
+    return space;
+}
+
+double
+StreamclusterKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = cfg.points;
+    const std::size_t dim = cfg.dims;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    util::Rng rng(seed ^ 0xcafe);
+
+    // Facility-location style: open the first point as a center, then
+    // open each point whose distance-to-nearest exceeds a cost ratio.
+    std::vector<std::size_t> centers{0};
+    std::vector<std::size_t> assign(n, 0);
+    std::vector<double> dist(n, 0.0);
+
+    auto nearest = [&](std::size_t i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d2 =
+                sqDistP(&data.points.data[i * dim],
+                        &data.points.data[centers[c] * dim], dim,
+                        knobs.precision);
+            if (d2 < best) {
+                best = d2;
+                best_c = c;
+            }
+        }
+        assign[i] = best_c;
+        dist[i] = best;
+        return best;
+    };
+
+    const double open_cost = 220.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        const double d = nearest(i);
+        if (d > open_cost * rng.uniform() &&
+            centers.size() < 4 * cfg.clusters) {
+            centers.push_back(i);
+            assign[i] = centers.size() - 1;
+            dist[i] = 0.0;
+        }
+    }
+
+    // Local-search refinement: reassign points to the best center now
+    // that all facilities are open. The perforated loop skips points
+    // entirely (fixed phase), so at p > 1 a fraction of points keep
+    // their stale, suboptimal assignment — this loop is where
+    // streamcluster spends most of its time.
+    for (std::size_t round = 0; round < 4; ++round) {
+        for (std::size_t i = 0; i < n; i += p)
+            nearest(i);
+    }
+
+    double cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        cost += std::sqrt(
+            sqDist<double>(&data.points.data[i * dim],
+                           &data.points.data[centers[assign[i]] * dim],
+                           dim));
+    return cost;
+}
+
+} // namespace kernels
+} // namespace pliant

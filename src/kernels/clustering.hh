@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Clustering kernels: k-means, fuzzy k-means, BIRCH-style CF
+ * clustering, and a streamcluster-style online k-median.
+ *
+ * These stand in for MineBench's K-means / Fuzzy K-means / BIRCH and
+ * PARSEC's streamcluster. All are iterative and data-parallel, which
+ * is what makes loop perforation effective on them (Section 3).
+ */
+
+#ifndef PLIANT_KERNELS_CLUSTERING_HH
+#define PLIANT_KERNELS_CLUSTERING_HH
+
+#include <cstdint>
+
+#include "kernels/kernel.hh"
+#include "kernels/synthetic.hh"
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Problem-size configuration shared by the clustering kernels. */
+struct ClusteringConfig
+{
+    std::size_t points = 6000;
+    std::size_t dims = 8;
+    std::size_t clusters = 8;
+    std::size_t iterations = 12;
+};
+
+/**
+ * Lloyd's k-means. Perforation updates assignments for 1/p of the
+ * points per iteration (the rest keep their previous assignment);
+ * float precision computes distances in single precision. Output
+ * metric: within-cluster sum of squares (WCSS).
+ */
+class KmeansKernel : public ApproxKernel
+{
+  public:
+    explicit KmeansKernel(std::uint64_t seed,
+                          ClusteringConfig cfg = ClusteringConfig{});
+
+    std::string name() const override { return "kmeans"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+
+  private:
+    ClusteringConfig cfg;
+    BlobData data;
+};
+
+/**
+ * Fuzzy c-means (fuzzifier m = 2). Perforation updates the membership
+ * rows of 1/p of the points per iteration. Output metric: the fuzzy
+ * objective J.
+ */
+class FuzzyKmeansKernel : public ApproxKernel
+{
+  public:
+    explicit FuzzyKmeansKernel(std::uint64_t seed,
+                               ClusteringConfig cfg = ClusteringConfig{});
+
+    std::string name() const override { return "fuzzy_kmeans"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+
+  private:
+    ClusteringConfig cfg;
+    BlobData data;
+};
+
+/**
+ * BIRCH-style clustering: one pass builds clustering-feature (CF)
+ * entries under a distance threshold, then k-means over CF centroids.
+ * Perforation inserts only every p-th point into the CF phase (all
+ * points are still scored in the output metric). Output metric: WCSS
+ * of all points against the final centroids.
+ */
+class BirchKernel : public ApproxKernel
+{
+  public:
+    explicit BirchKernel(std::uint64_t seed,
+                         ClusteringConfig cfg = ClusteringConfig{});
+
+    std::string name() const override { return "birch"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    ClusteringConfig cfg;
+    BlobData data;
+};
+
+/**
+ * Streamcluster-style online k-median: consume the stream in chunks,
+ * open facilities greedily by gain, then a local-search refinement.
+ * Perforation evaluates only every p-th reassignment candidate in the
+ * refinement loop. Output metric: total assignment cost.
+ */
+class StreamclusterKernel : public ApproxKernel
+{
+  public:
+    explicit StreamclusterKernel(std::uint64_t seed,
+                                 ClusteringConfig cfg = ClusteringConfig{});
+
+    std::string name() const override { return "streamcluster"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+
+  private:
+    ClusteringConfig cfg;
+    BlobData data;
+    std::uint64_t seed;
+};
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_CLUSTERING_HH

@@ -1,0 +1,75 @@
+#include "kernels/kernel.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace kernels {
+
+std::string
+Knobs::describe() const
+{
+    if (isPrecise())
+        return "precise";
+    std::string s;
+    if (perforation > 1)
+        s += "p" + std::to_string(perforation);
+    if (precision == Precision::Float)
+        s += s.empty() ? "float" : "+float";
+    if (elideSync)
+        s += s.empty() ? "nosync" : "+nosync";
+    return s;
+}
+
+KernelResult
+ApproxKernel::run(const Knobs &knobs)
+{
+    if (!preciseMetric && !knobs.isPrecise()) {
+        // Populate the reference output first so inaccuracy is defined.
+        run(Knobs{});
+    }
+
+    using ClockType = std::chrono::steady_clock;
+    const auto t0 = ClockType::now();
+    const double metric = execute(knobs);
+    const auto t1 = ClockType::now();
+
+    KernelResult res;
+    res.elapsedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    res.outputMetric = metric;
+
+    if (knobs.isPrecise()) {
+        preciseMetric = metric;
+        res.inaccuracy = 0.0;
+    } else {
+        res.inaccuracy = quality(metric, *preciseMetric);
+    }
+    return res;
+}
+
+std::vector<Knobs>
+ApproxKernel::knobSpace() const
+{
+    std::vector<Knobs> space;
+    space.push_back(Knobs{});
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    return space;
+}
+
+double
+ApproxKernel::quality(double approx_metric, double precise_metric)
+{
+    const double denom = std::max(std::abs(precise_metric), 1e-12);
+    const double err = std::abs(approx_metric - precise_metric) / denom;
+    return std::min(err, 1.0);
+}
+
+} // namespace kernels
+} // namespace pliant

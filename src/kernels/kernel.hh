@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Common interface for real approximate-computing kernels.
+ *
+ * Each kernel is a genuine C++ implementation of an algorithm from the
+ * application classes the paper studies (data mining, bioinformatics,
+ * scientific computing), exposing the three approximation techniques of
+ * Section 3 as knobs:
+ *
+ *  - loop perforation: execute a subset of loop iterations,
+ *  - synchronization elision: skip correctness-only coordination,
+ *  - lower precision: compute in float instead of double.
+ *
+ * A kernel measures its own wall-clock time and reports output
+ * inaccuracy relative to its own precise execution, which is exactly
+ * the data the design-space exploration (Fig. 1, odd rows) needs.
+ */
+
+#ifndef PLIANT_KERNELS_KERNEL_HH
+#define PLIANT_KERNELS_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pliant {
+namespace kernels {
+
+/** Numeric precision a kernel computes in. */
+enum class Precision { Double, Float };
+
+/**
+ * Approximation knob settings. The default-constructed Knobs is the
+ * precise configuration for every kernel.
+ */
+struct Knobs
+{
+    /**
+     * Loop perforation factor p >= 1: the kernel executes roughly 1/p
+     * of the iterations of its perforable loops. p = 1 is precise.
+     */
+    int perforation = 1;
+
+    /** Arithmetic precision for the kernel's hot data. */
+    Precision precision = Precision::Double;
+
+    /** Elide synchronization-only work (locks/barriers/refinements). */
+    bool elideSync = false;
+
+    bool isPrecise() const
+    {
+        return perforation == 1 && precision == Precision::Double &&
+               !elideSync;
+    }
+
+    bool operator==(const Knobs &) const = default;
+
+    /** Short human-readable description, e.g. "p4+float". */
+    std::string describe() const;
+};
+
+/**
+ * Result of one kernel execution.
+ */
+struct KernelResult
+{
+    /** Measured wall-clock execution time in milliseconds. */
+    double elapsedMs = 0.0;
+
+    /**
+     * Output inaccuracy relative to precise execution, in [0, 1]
+     * (0 = identical output). The metric is kernel-specific (cost
+     * ratio, classification disagreement, image error, ...).
+     */
+    double inaccuracy = 0.0;
+
+    /** Kernel-specific scalar summary of the output (for testing). */
+    double outputMetric = 0.0;
+};
+
+/**
+ * Base class for all approximate kernels.
+ *
+ * Construction fixes the input data set (from the seed), so repeated
+ * runs are deterministic and inaccuracy is measured against a cached
+ * precise reference execution.
+ */
+class ApproxKernel
+{
+  public:
+    virtual ~ApproxKernel() = default;
+
+    /** Stable kernel name, e.g. "kmeans". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute the kernel under the given knob settings.
+     * Triggers (and caches) a precise reference execution if one has
+     * not been produced yet, so inaccuracy can be reported.
+     */
+    KernelResult run(const Knobs &knobs);
+
+    /**
+     * Candidate knob settings this kernel supports, always including
+     * the precise configuration first. This is the raw design space
+     * the DSE enumerates (Section 3, "pruning the design space").
+     */
+    virtual std::vector<Knobs> knobSpace() const;
+
+  protected:
+    /**
+     * Kernel body: compute under `knobs` and return the output metric
+     * (a scalar the quality measure is derived from).
+     */
+    virtual double execute(const Knobs &knobs) = 0;
+
+    /**
+     * Inaccuracy of an approximate output vs the precise output.
+     * Default: relative error |x - ref| / max(|ref|, eps), clamped
+     * to [0, 1]. Kernels with richer metrics override run-time state
+     * and this hook.
+     */
+    virtual double quality(double approx_metric, double precise_metric);
+
+  private:
+    std::optional<double> preciseMetric;
+};
+
+/** Factory signature used by the kernel registry. */
+using KernelFactory =
+    std::function<std::unique_ptr<ApproxKernel>(std::uint64_t seed)>;
+
+/** Registry entry mapping a kernel name to its factory. */
+struct KernelEntry
+{
+    std::string name;
+    KernelFactory make;
+};
+
+/**
+ * All kernels shipped with the library, in a stable order.
+ */
+const std::vector<KernelEntry> &kernelRegistry();
+
+/** Construct a kernel by name; throws FatalError for unknown names. */
+std::unique_ptr<ApproxKernel> makeKernel(const std::string &name,
+                                         std::uint64_t seed = 42);
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_KERNEL_HH

@@ -1,0 +1,589 @@
+#include "kernels/mining.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// ScalParCKernel
+// ---------------------------------------------------------------------
+
+ScalParCKernel::ScalParCKernel(std::uint64_t seed, DtreeConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x5ca1);
+    train = makeBlobs(rng, cfg.trainPoints, cfg.dims, cfg.classes, 2.8);
+    test.centers = train.centers;
+    test.points.rows = cfg.testPoints;
+    test.points.cols = cfg.dims;
+    test.points.data.resize(cfg.testPoints * cfg.dims);
+    test.labels.resize(cfg.testPoints);
+    for (std::size_t i = 0; i < cfg.testPoints; ++i) {
+        const std::size_t c =
+            static_cast<std::size_t>(rng.uniformInt(cfg.classes));
+        test.labels[i] = static_cast<int>(c);
+        for (std::size_t d = 0; d < cfg.dims; ++d)
+            test.points.at(i, d) =
+                train.centers.at(c, d) + rng.normal(0.0, 2.8);
+    }
+}
+
+std::vector<Knobs>
+ScalParCKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{1, Precision::Double, true});
+    return space;
+}
+
+namespace {
+
+/** A binary decision-tree node over feature thresholds. */
+struct DtNode
+{
+    int feature = -1;
+    double threshold = 0.0;
+    int label = 0;          ///< leaf prediction when feature < 0
+    int left = -1, right = -1;
+};
+
+template <typename T>
+class DtreeBuilder
+{
+  public:
+    DtreeBuilder(const BlobData &data, const DtreeConfig &cfg,
+                 const Knobs &knobs)
+        : data(data), cfg(cfg), knobs(knobs)
+    {
+    }
+
+    int
+    build(std::vector<std::size_t> idx, int depth)
+    {
+        const int me = static_cast<int>(nodes.size());
+        nodes.push_back(DtNode{});
+        const int majority = majorityLabel(idx);
+        if (depth >= cfg.maxDepth || idx.size() <= cfg.minLeaf ||
+            isPure(idx)) {
+            nodes[static_cast<std::size_t>(me)].label = majority;
+            return me;
+        }
+
+        int best_f = -1;
+        double best_thr = 0.0;
+        T best_gini = std::numeric_limits<T>::max();
+        const std::size_t stride =
+            static_cast<std::size_t>(knobs.perforation);
+
+        for (std::size_t f = 0; f < cfg.dims; ++f) {
+            // Candidate thresholds: sorted sample values; perforation
+            // evaluates every p-th candidate (ScalParC's split-point
+            // scan is its hot loop).
+            std::vector<double> vals;
+            vals.reserve(idx.size());
+            for (std::size_t i : idx)
+                vals.push_back(data.points.at(i, f));
+            std::sort(vals.begin(), vals.end());
+            // Precise mode already samples candidate thresholds (the
+            // standard histogram trick); perforation multiplies the
+            // stride on top of that.
+            const std::size_t base_stride = std::max<std::size_t>(
+                1, vals.size() / cfg.maxCandidates);
+            const std::size_t step = base_stride * stride;
+            for (std::size_t k = step; k < vals.size(); k += step) {
+                const double thr = 0.5 * (vals[k - 1] + vals[k]);
+                const T g = splitGini(idx, f, thr);
+                if (g < best_gini) {
+                    best_gini = g;
+                    best_f = static_cast<int>(f);
+                    best_thr = thr;
+                }
+            }
+        }
+        if (best_f < 0) {
+            nodes[static_cast<std::size_t>(me)].label = majority;
+            return me;
+        }
+
+        std::vector<std::size_t> lo, hi;
+        for (std::size_t i : idx) {
+            (data.points.at(i, static_cast<std::size_t>(best_f)) <
+                     best_thr
+                 ? lo
+                 : hi)
+                .push_back(i);
+        }
+        if (lo.empty() || hi.empty()) {
+            nodes[static_cast<std::size_t>(me)].label = majority;
+            return me;
+        }
+        nodes[static_cast<std::size_t>(me)].feature = best_f;
+        nodes[static_cast<std::size_t>(me)].threshold = best_thr;
+        const int l = build(std::move(lo), depth + 1);
+        const int r = build(std::move(hi), depth + 1);
+        nodes[static_cast<std::size_t>(me)].left = l;
+        nodes[static_cast<std::size_t>(me)].right = r;
+        return me;
+    }
+
+    int
+    predict(const double *x) const
+    {
+        int n = 0;
+        while (nodes[static_cast<std::size_t>(n)].feature >= 0) {
+            const DtNode &node = nodes[static_cast<std::size_t>(n)];
+            n = x[node.feature] < node.threshold ? node.left
+                                                 : node.right;
+        }
+        return nodes[static_cast<std::size_t>(n)].label;
+    }
+
+  private:
+    int
+    majorityLabel(const std::vector<std::size_t> &idx) const
+    {
+        std::vector<int> counts(cfg.classes, 0);
+        for (std::size_t i : idx)
+            ++counts[static_cast<std::size_t>(data.labels[i])];
+        return static_cast<int>(std::distance(
+            counts.begin(),
+            std::max_element(counts.begin(), counts.end())));
+    }
+
+    bool
+    isPure(const std::vector<std::size_t> &idx) const
+    {
+        for (std::size_t i : idx)
+            if (data.labels[i] != data.labels[idx.front()])
+                return false;
+        return true;
+    }
+
+    T
+    splitGini(const std::vector<std::size_t> &idx, std::size_t f,
+              double thr) const
+    {
+        std::vector<T> lo(cfg.classes, 0), hi(cfg.classes, 0);
+        T nlo = 0, nhi = 0;
+        // Sync elision: estimate the split counts from a strided
+        // subsample instead of the exact recount pass.
+        const std::size_t step = knobs.elideSync ? 3 : 1;
+        for (std::size_t k = 0; k < idx.size(); k += step) {
+            const std::size_t i = idx[k];
+            const std::size_t c =
+                static_cast<std::size_t>(data.labels[i]);
+            if (data.points.at(i, f) < thr) {
+                lo[c] += 1;
+                nlo += 1;
+            } else {
+                hi[c] += 1;
+                nhi += 1;
+            }
+        }
+        auto gini = [&](const std::vector<T> &counts, T n) -> T {
+            if (n == 0)
+                return 0;
+            T g = 1;
+            for (T c : counts)
+                g -= (c / n) * (c / n);
+            return g;
+        };
+        const T total = nlo + nhi;
+        if (total == 0)
+            return std::numeric_limits<T>::max();
+        return (nlo / total) * gini(lo, nlo) +
+               (nhi / total) * gini(hi, nhi);
+    }
+
+    const BlobData &data;
+    const DtreeConfig &cfg;
+    const Knobs &knobs;
+    std::vector<DtNode> nodes;
+};
+
+template <typename T>
+double
+dtreeRun(const BlobData &train, const BlobData &test,
+         const DtreeConfig &cfg, const Knobs &knobs)
+{
+    DtreeBuilder<T> builder(train, cfg, knobs);
+    std::vector<std::size_t> all(train.points.rows);
+    std::iota(all.begin(), all.end(), 0);
+    builder.build(std::move(all), 0);
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.points.rows; ++i) {
+        if (builder.predict(
+                &test.points.data[i * test.points.cols]) ==
+            test.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.points.rows);
+}
+
+} // namespace
+
+double
+ScalParCKernel::execute(const Knobs &knobs)
+{
+    return knobs.precision == Precision::Float
+        ? dtreeRun<float>(train, test, cfg, knobs)
+        : dtreeRun<double>(train, test, cfg, knobs);
+}
+
+double
+ScalParCKernel::quality(double approx_metric, double precise_metric)
+{
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min(precise_metric - approx_metric, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// ClustalKernel
+// ---------------------------------------------------------------------
+
+ClustalKernel::ClustalKernel(std::uint64_t seed, MsaConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0xc1a5);
+    // A family of sequences descended from one ancestor.
+    const std::string ancestor = makeSequence(rng, cfg.length);
+    for (std::size_t s = 0; s < cfg.sequences; ++s)
+        seqs.push_back(mutateSequence(rng, ancestor, cfg.mutationRate));
+}
+
+std::vector<Knobs>
+ClustalKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8})
+        space.push_back(Knobs{p, Precision::Double, false});
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{2, Precision::Float, false});
+    return space;
+}
+
+namespace {
+
+/** Global alignment score with optional banding (band 0 = full). */
+int
+nwScore(const std::string &a, const std::string &b, std::size_t band)
+{
+    constexpr int kMatch = 2, kMismatch = -1, kGap = -2;
+    const std::size_t rows = a.size(), cols = b.size();
+    const int kNeg = -1000000;
+    std::vector<int> prev(cols + 1, kNeg), curr(cols + 1, kNeg);
+    prev[0] = 0;
+    for (std::size_t j = 1; j <= cols; ++j)
+        if (band == 0 || j <= band)
+            prev[j] = static_cast<int>(j) * kGap;
+    for (std::size_t i = 1; i <= rows; ++i) {
+        std::size_t j_lo = 1, j_hi = cols;
+        if (band > 0) {
+            const std::size_t diag =
+                i * cols / std::max<std::size_t>(rows, 1);
+            j_lo = diag > band ? diag - band : 1;
+            j_hi = std::min(cols, diag + band);
+        }
+        std::fill(curr.begin(), curr.end(), kNeg);
+        curr[0] = static_cast<int>(i) * kGap;
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const int sub = a[i - 1] == b[j - 1] ? kMatch : kMismatch;
+            int v = prev[j - 1] > kNeg ? prev[j - 1] + sub : kNeg;
+            if (prev[j] > kNeg)
+                v = std::max(v, prev[j] + kGap);
+            if (curr[j - 1] > kNeg)
+                v = std::max(v, curr[j - 1] + kGap);
+            curr[j] = v;
+        }
+        std::swap(prev, curr);
+    }
+    return std::max(prev[cols], kNeg / 2);
+}
+
+} // namespace
+
+double
+ClustalKernel::execute(const Knobs &knobs)
+{
+    const std::size_t n = seqs.size();
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    const std::size_t band =
+        p <= 1 ? 0 : std::max<std::size_t>(6, cfg.length / (2 * p));
+
+    // Pairwise distance matrix from banded global alignments. The
+    // float variant additionally skips the upper quartile of pairs
+    // (distance approximated by the family average) — mirroring
+    // ClustalW's quick-tree heuristics.
+    std::vector<double> dist(n * n, 0.0);
+    double dist_sum = 0.0;
+    std::size_t dist_count = 0;
+    const bool skip_some = knobs.precision == Precision::Float;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (skip_some && (i + j) % 4 == 3)
+                continue; // filled with the average below
+            const int s = nwScore(seqs[i], seqs[j], band);
+            const double d =
+                1.0 - static_cast<double>(s) /
+                          (2.0 * static_cast<double>(cfg.length));
+            dist[i * n + j] = dist[j * n + i] = d;
+            dist_sum += d;
+            ++dist_count;
+        }
+    }
+    if (skip_some && dist_count > 0) {
+        const double avg = dist_sum / static_cast<double>(dist_count);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                if (dist[i * n + j] == 0.0)
+                    dist[i * n + j] = dist[j * n + i] = avg;
+    }
+
+    // Greedy guide order: start from the closest pair, then append
+    // the sequence closest to the current profile set.
+    std::vector<std::size_t> order;
+    std::vector<bool> used(n, false);
+    std::size_t a = 0, b = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (dist[i * n + j] < best) {
+                best = dist[i * n + j];
+                a = i;
+                b = j;
+            }
+    order.push_back(a);
+    order.push_back(b);
+    used[a] = used[b] = true;
+    while (order.size() < n) {
+        std::size_t pick = 0;
+        double pick_d = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (used[i])
+                continue;
+            double dmin = std::numeric_limits<double>::infinity();
+            for (std::size_t o : order)
+                dmin = std::min(dmin, dist[i * n + o]);
+            if (dmin < pick_d) {
+                pick_d = dmin;
+                pick = i;
+            }
+        }
+        order.push_back(pick);
+        used[pick] = true;
+    }
+
+    // Progressive "alignment": score each joining sequence against
+    // the running consensus (full-band for quality measurement).
+    std::string consensus = seqs[order[0]];
+    double total_score = 0.0;
+    for (std::size_t k = 1; k < n; ++k) {
+        total_score += nwScore(consensus, seqs[order[k]], band);
+        // Consensus update: keep the longer of the two (cheap profile
+        // stand-in that preserves determinism).
+        if (seqs[order[k]].size() > consensus.size())
+            consensus = seqs[order[k]];
+    }
+    return total_score;
+}
+
+double
+ClustalKernel::quality(double approx_metric, double precise_metric)
+{
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min((precise_metric - approx_metric) /
+                        std::max(std::abs(precise_metric), 1e-9),
+                    1.0);
+}
+
+// ---------------------------------------------------------------------
+// GlimmerKernel
+// ---------------------------------------------------------------------
+
+GlimmerKernel::GlimmerKernel(std::uint64_t seed, ImmConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x911e);
+    // Synthetic genome: background with planted "coding" regions that
+    // have a biased codon-like 3-periodic composition.
+    genome = makeSequence(rng, cfg.genomeLength);
+    const std::size_t n_regions = cfg.genomeLength / 1200;
+    for (std::size_t r = 0; r < n_regions; ++r) {
+        const std::size_t start = 100 + r * 1100;
+        const std::size_t len = 450;
+        if (start + len >= genome.size())
+            break;
+        for (std::size_t i = 0; i < len; ++i) {
+            // Coding bias: position-in-codon dependent base
+            // preference.
+            const char prefs[3][2] = {{'A', 'T'}, {'C', 'G'},
+                                      {'G', 'A'}};
+            if (rng.coin(0.65))
+                genome[start + i] =
+                    prefs[i % 3][rng.coin(0.5) ? 0 : 1];
+        }
+        codingRegions.emplace_back(start, start + len);
+    }
+}
+
+std::vector<Knobs>
+GlimmerKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    return space;
+}
+
+namespace {
+
+int
+baseIndex(char c)
+{
+    switch (c) {
+      case 'A':
+        return 0;
+      case 'C':
+        return 1;
+      case 'G':
+        return 2;
+      default:
+        return 3;
+    }
+}
+
+} // namespace
+
+double
+GlimmerKernel::execute(const Knobs &knobs)
+{
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    // Float precision caps the model order (fewer context tables).
+    const int order = knobs.precision == Precision::Float
+        ? std::min(cfg.order, 3)
+        : cfg.order;
+
+    // Train per-order context counts over the coding regions,
+    // visiting every p-th position (training is the hot loop).
+    // counts[k] has 4^k contexts x 4 successors.
+    std::vector<std::vector<double>> counts(
+        static_cast<std::size_t>(order) + 1);
+    for (int k = 0; k <= order; ++k)
+        counts[static_cast<std::size_t>(k)]
+            .assign((1ULL << (2 * k)) * 4, 0.5); // Laplace prior
+
+    for (const auto &[lo, hi] : codingRegions) {
+        for (std::size_t i = lo + static_cast<std::size_t>(order);
+             i < hi; i += p) {
+            for (int k = 0; k <= order; ++k) {
+                std::size_t ctx = 0;
+                for (int j = k; j >= 1; --j)
+                    ctx = (ctx << 2) |
+                          static_cast<std::size_t>(baseIndex(
+                              genome[i - static_cast<std::size_t>(j)]));
+                counts[static_cast<std::size_t>(k)]
+                      [ctx * 4 + static_cast<std::size_t>(
+                                     baseIndex(genome[i]))] += 1.0;
+            }
+        }
+    }
+
+    // Interpolated per-base log-probability under the coding model.
+    auto scoreAt = [&](std::size_t i) {
+        double logp = 0.0;
+        double weight_sum = 0.0;
+        for (int k = 0; k <= order; ++k) {
+            std::size_t ctx = 0;
+            for (int j = k; j >= 1; --j)
+                ctx = (ctx << 2) |
+                      static_cast<std::size_t>(baseIndex(
+                          genome[i - static_cast<std::size_t>(j)]));
+            const auto &table = counts[static_cast<std::size_t>(k)];
+            double row = 0.0;
+            for (int b = 0; b < 4; ++b)
+                row += table[ctx * 4 + static_cast<std::size_t>(b)];
+            const double prob =
+                table[ctx * 4 + static_cast<std::size_t>(
+                                    baseIndex(genome[i]))] /
+                row;
+            // Higher orders weigh more when well supported.
+            const double w = std::min(row / 40.0, 1.0) *
+                             static_cast<double>(k + 1);
+            logp += w * std::log(prob);
+            weight_sum += w;
+        }
+        return weight_sum > 0 ? logp / weight_sum : 0.0;
+    };
+
+    // Score candidate windows: half true coding, half background.
+    util::Rng rng(0xbead);
+    double coding_sum = 0.0, background_sum = 0.0;
+    std::size_t coding_n = 0, background_n = 0;
+    for (std::size_t w = 0; w < cfg.windows; ++w) {
+        const bool coding = w % 2 == 0;
+        std::size_t start;
+        if (coding) {
+            const auto &region = codingRegions[w % codingRegions.size()];
+            start = region.first + static_cast<std::size_t>(order);
+        } else {
+            // Background stretch between regions.
+            start = 600 + (w * 977) % (genome.size() - 2 * cfg.windowLength);
+            bool overlaps = false;
+            for (const auto &[lo, hi] : codingRegions)
+                if (start + cfg.windowLength > lo && start < hi)
+                    overlaps = true;
+            if (overlaps)
+                continue;
+        }
+        double s = 0.0;
+        for (std::size_t i = start; i < start + cfg.windowLength; ++i)
+            s += scoreAt(i);
+        if (coding) {
+            coding_sum += s;
+            ++coding_n;
+        } else {
+            background_sum += s;
+            ++background_n;
+        }
+    }
+    const double coding_mean =
+        coding_n ? coding_sum / static_cast<double>(coding_n) : 0.0;
+    const double background_mean = background_n
+        ? background_sum / static_cast<double>(background_n)
+        : 0.0;
+    // Separation between coding and background mean scores — the
+    // discriminative power of the trained model.
+    return coding_mean - background_mean;
+}
+
+double
+GlimmerKernel::quality(double approx_metric, double precise_metric)
+{
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min((precise_metric - approx_metric) /
+                        std::max(std::abs(precise_metric), 1e-9),
+                    1.0);
+}
+
+} // namespace kernels
+} // namespace pliant

@@ -1,0 +1,309 @@
+#include "kernels/ml.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// NaiveBayesKernel
+// ---------------------------------------------------------------------
+
+NaiveBayesKernel::NaiveBayesKernel(std::uint64_t seed, BayesConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0xbae5);
+    train = makeBlobs(rng, cfg.trainPoints, cfg.dims, cfg.classes, 2.2);
+    // Test set from the same mixture (same centers, fresh noise).
+    test.centers = train.centers;
+    test.points.rows = cfg.testPoints;
+    test.points.cols = cfg.dims;
+    test.points.data.resize(cfg.testPoints * cfg.dims);
+    test.labels.resize(cfg.testPoints);
+    for (std::size_t i = 0; i < cfg.testPoints; ++i) {
+        const std::size_t c =
+            static_cast<std::size_t>(rng.uniformInt(cfg.classes));
+        test.labels[i] = static_cast<int>(c);
+        for (std::size_t d = 0; d < cfg.dims; ++d)
+            test.points.at(i, d) =
+                train.centers.at(c, d) + rng.normal(0.0, 2.2);
+    }
+}
+
+std::vector<Knobs>
+NaiveBayesKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8, 12, 16}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{1, Precision::Double, true});
+    return space;
+}
+
+namespace {
+
+template <typename T>
+double
+bayesRun(const BayesConfig &cfg, const BlobData &train,
+         const BlobData &test, const Knobs &knobs)
+{
+    const std::size_t k = cfg.classes;
+    const std::size_t dim = cfg.dims;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    std::vector<T> mean(k * dim, 0);
+    std::vector<T> var(k * dim, 0);
+    std::vector<T> counts(k, 0);
+
+    // First pass: class counts and feature sums (perforated).
+    for (std::size_t i = 0; i < train.points.rows; i += p) {
+        const std::size_t c = static_cast<std::size_t>(train.labels[i]);
+        counts[c] += 1;
+        for (std::size_t d = 0; d < dim; ++d)
+            mean[c * dim + d] += static_cast<T>(train.points.at(i, d));
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+        const T denom = std::max<T>(counts[c], 1);
+        for (std::size_t d = 0; d < dim; ++d)
+            mean[c * dim + d] /= denom;
+    }
+
+    if (knobs.elideSync) {
+        // One-pass variance approximation: a fixed isotropic estimate
+        // scaled by the global spread (skips the refinement pass).
+        T global = 0;
+        for (std::size_t i = 0; i < train.points.rows; i += p * 4)
+            for (std::size_t d = 0; d < dim; ++d) {
+                const T v = static_cast<T>(train.points.at(i, d));
+                global += v * v;
+            }
+        const T iso = std::max<T>(
+            global / static_cast<T>(train.points.rows * dim / (p * 4) + 1),
+            static_cast<T>(1e-3));
+        std::fill(var.begin(), var.end(), iso);
+    } else {
+        // Second pass: per-class, per-feature variances (perforated).
+        for (std::size_t i = 0; i < train.points.rows; i += p) {
+            const std::size_t c =
+                static_cast<std::size_t>(train.labels[i]);
+            for (std::size_t d = 0; d < dim; ++d) {
+                const T diff = static_cast<T>(train.points.at(i, d)) -
+                               mean[c * dim + d];
+                var[c * dim + d] += diff * diff;
+            }
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            const T denom = std::max<T>(counts[c], 1);
+            for (std::size_t d = 0; d < dim; ++d)
+                var[c * dim + d] = std::max<T>(
+                    var[c * dim + d] / denom, static_cast<T>(1e-3));
+        }
+    }
+
+    // Classify the full test set.
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.points.rows; ++i) {
+        double bestLp = -std::numeric_limits<double>::infinity();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            double lp = std::log(
+                static_cast<double>(std::max<T>(counts[c], 1)));
+            for (std::size_t d = 0; d < dim; ++d) {
+                const double mu =
+                    static_cast<double>(mean[c * dim + d]);
+                const double s2 =
+                    static_cast<double>(var[c * dim + d]);
+                const double x = test.points.at(i, d);
+                lp += -0.5 * std::log(s2) -
+                      (x - mu) * (x - mu) / (2.0 * s2);
+            }
+            if (lp > bestLp) {
+                bestLp = lp;
+                best_c = c;
+            }
+        }
+        if (static_cast<int>(best_c) == test.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.points.rows);
+}
+
+} // namespace
+
+double
+NaiveBayesKernel::execute(const Knobs &knobs)
+{
+    return knobs.precision == Precision::Float
+        ? bayesRun<float>(cfg, train, test, knobs)
+        : bayesRun<double>(cfg, train, test, knobs);
+}
+
+double
+NaiveBayesKernel::quality(double approx_metric, double precise_metric)
+{
+    // Metric is accuracy in [0, 1]; quality loss is the absolute
+    // accuracy drop (an approximate model that happens to classify
+    // better has no loss).
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min(precise_metric - approx_metric, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// PlsaKernel
+// ---------------------------------------------------------------------
+
+PlsaKernel::PlsaKernel(std::uint64_t seed, PlsaConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x9157);
+    data = makeTermDoc(rng, cfg.docs, cfg.terms, cfg.topics);
+}
+
+std::vector<Knobs>
+PlsaKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6, 8}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Float, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{1, Precision::Double, true});
+    space.push_back(Knobs{2, Precision::Float, true});
+    return space;
+}
+
+namespace {
+
+template <typename T>
+double
+plsaRun(const PlsaConfig &cfg, const TermDocData &data,
+        const Knobs &knobs)
+{
+    const std::size_t nd = cfg.docs;
+    const std::size_t nw = cfg.terms;
+    const std::size_t nz = cfg.topics;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+
+    // Parameters: P(z|d) and P(w|z), deterministically initialized.
+    std::vector<T> pzd(nd * nz);
+    std::vector<T> pwz(nz * nw);
+    for (std::size_t d = 0; d < nd; ++d)
+        for (std::size_t z = 0; z < nz; ++z)
+            pzd[d * nz + z] = static_cast<T>(
+                1.0 / static_cast<double>(nz) +
+                0.01 * static_cast<double>((d + z) % 7) / 7.0);
+    for (std::size_t z = 0; z < nz; ++z)
+        for (std::size_t w = 0; w < nw; ++w)
+            pwz[z * nw + w] = static_cast<T>(
+                1.0 / static_cast<double>(nw) +
+                0.01 * static_cast<double>((w + 3 * z) % 11) / 11.0);
+
+    std::vector<T> post(nz);
+    std::vector<T> nwzAcc(nz * nw, 0);
+
+    auto normalizePwz = [&]() {
+        for (std::size_t z = 0; z < nz; ++z) {
+            T norm = 0;
+            for (std::size_t w = 0; w < nw; ++w)
+                norm += pwz[z * nw + w];
+            if (norm > 0)
+                for (std::size_t w = 0; w < nw; ++w)
+                    pwz[z * nw + w] /= norm;
+        }
+    };
+
+    for (std::size_t it = 0; it < cfg.iterations; ++it) {
+        std::fill(nwzAcc.begin(), nwzAcc.end(), static_cast<T>(0));
+        for (std::size_t d = it % p; d < nd; d += p) {
+            std::vector<T> nzd(nz, 0);
+            for (std::size_t w = 0; w < nw; ++w) {
+                const double cnt = data.counts[d * nw + w];
+                if (cnt == 0)
+                    continue;
+                // E-step: responsibilities P(z|d,w).
+                T norm = 0;
+                for (std::size_t z = 0; z < nz; ++z) {
+                    post[z] = pzd[d * nz + z] * pwz[z * nw + w];
+                    norm += post[z];
+                }
+                if (norm <= 0)
+                    continue;
+                for (std::size_t z = 0; z < nz; ++z) {
+                    const T r = post[z] / norm * static_cast<T>(cnt);
+                    nzd[z] += r;
+                    nwzAcc[z * nw + w] += r;
+                }
+            }
+            // M-step for this document's topic mixture.
+            T dn = 0;
+            for (std::size_t z = 0; z < nz; ++z)
+                dn += nzd[z];
+            if (dn > 0)
+                for (std::size_t z = 0; z < nz; ++z)
+                    pzd[d * nz + z] = nzd[z] / dn;
+        }
+        // M-step for topic-term distributions.
+        for (std::size_t z = 0; z < nz; ++z)
+            for (std::size_t w = 0; w < nw; ++w)
+                pwz[z * nw + w] =
+                    nwzAcc[z * nw + w] + static_cast<T>(1e-6);
+        // Sync elision defers normalization to the end of training.
+        if (!knobs.elideSync)
+            normalizePwz();
+    }
+    normalizePwz();
+
+    // Training log-likelihood.
+    double ll = 0.0;
+    for (std::size_t d = 0; d < nd; ++d) {
+        for (std::size_t w = 0; w < nw; ++w) {
+            const double cnt = data.counts[d * nw + w];
+            if (cnt == 0)
+                continue;
+            double prob = 0.0;
+            for (std::size_t z = 0; z < nz; ++z)
+                prob += static_cast<double>(pzd[d * nz + z]) *
+                        static_cast<double>(pwz[z * nw + w]);
+            ll += cnt * std::log(std::max(prob, 1e-300));
+        }
+    }
+    return ll;
+}
+
+} // namespace
+
+double
+PlsaKernel::execute(const Knobs &knobs)
+{
+    return knobs.precision == Precision::Float
+        ? plsaRun<float>(cfg, data, knobs)
+        : plsaRun<double>(cfg, data, knobs);
+}
+
+double
+PlsaKernel::quality(double approx_metric, double precise_metric)
+{
+    // Log-likelihood is negative; only a *lower* (more negative)
+    // likelihood is a loss.
+    if (approx_metric >= precise_metric)
+        return 0.0;
+    return std::min((precise_metric - approx_metric) /
+                        std::max(std::abs(precise_metric), 1e-9),
+                    1.0);
+}
+
+} // namespace kernels
+} // namespace pliant

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Machine-learning kernels: Gaussian naive Bayes classification and a
+ * PLSA-style EM topic model.
+ *
+ * These stand in for MineBench's Naive Bayesian and PLSA. Both are
+ * the paper's "rich design space" applications (8 pareto variants
+ * each), which the knob spaces here reflect: training-set perforation,
+ * EM-iteration perforation, float precision, and elision of the
+ * normalization refinement pass combine into many distinct variants.
+ */
+
+#ifndef PLIANT_KERNELS_ML_HH
+#define PLIANT_KERNELS_ML_HH
+
+#include <cstdint>
+
+#include "kernels/kernel.hh"
+#include "kernels/synthetic.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Configuration for the naive Bayes kernel. */
+struct BayesConfig
+{
+    std::size_t trainPoints = 24000;
+    std::size_t testPoints = 400;
+    std::size_t dims = 24;
+    std::size_t classes = 6;
+};
+
+/**
+ * Gaussian naive Bayes: estimate per-class feature means/variances on
+ * the training set, classify the test set. Perforation subsamples the
+ * training points 1/p; float precision estimates moments in single
+ * precision; sync elision skips the variance refinement (second pass),
+ * using a one-pass (biased) estimate instead. Output metric: test
+ * accuracy; quality = accuracy drop.
+ */
+class NaiveBayesKernel : public ApproxKernel
+{
+  public:
+    explicit NaiveBayesKernel(std::uint64_t seed,
+                              BayesConfig cfg = BayesConfig{});
+
+    std::string name() const override { return "naive_bayes"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    BayesConfig cfg;
+    BlobData train;
+    BlobData test;
+};
+
+/** Configuration for the PLSA kernel. */
+struct PlsaConfig
+{
+    std::size_t docs = 300;
+    std::size_t terms = 250;
+    std::size_t topics = 8;
+    std::size_t iterations = 24;
+};
+
+/**
+ * PLSA topic model fit with EM. Perforation runs the E/M update on
+ * 1/p of the documents per iteration; float precision stores the
+ * posterior responsibilities in single precision; sync elision skips
+ * re-normalizing the topic-term matrix every iteration (done once at
+ * the end instead). Output metric: final training log-likelihood;
+ * quality = relative log-likelihood shortfall.
+ */
+class PlsaKernel : public ApproxKernel
+{
+  public:
+    explicit PlsaKernel(std::uint64_t seed, PlsaConfig cfg = PlsaConfig{});
+
+    std::string name() const override { return "plsa"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    PlsaConfig cfg;
+    TermDocData data;
+};
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_ML_HH

@@ -1,0 +1,356 @@
+#include "kernels/physics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// WaterNbodyKernel
+// ---------------------------------------------------------------------
+
+WaterNbodyKernel::WaterNbodyKernel(std::uint64_t seed, NbodyConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x3a7e5);
+    initPos.resize(cfg.bodies * 3);
+    initVel.resize(cfg.bodies * 3);
+    // Jittered lattice near the Lennard-Jones equilibrium spacing
+    // (2^(1/6) ~ 1.12): the system starts close to a local energy
+    // minimum, so the precise integrator conserves energy well and
+    // drift cleanly measures the approximation error.
+    const std::size_t side = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(cfg.bodies))));
+    const double spacing = 1.18;
+    for (std::size_t i = 0; i < cfg.bodies; ++i) {
+        const std::size_t x = i % side;
+        const std::size_t y = (i / side) % side;
+        const std::size_t z = i / (side * side);
+        initPos[i * 3 + 0] =
+            spacing * static_cast<double>(x) + rng.uniform(-0.04, 0.04);
+        initPos[i * 3 + 1] =
+            spacing * static_cast<double>(y) + rng.uniform(-0.04, 0.04);
+        initPos[i * 3 + 2] =
+            spacing * static_cast<double>(z) + rng.uniform(-0.04, 0.04);
+        for (int d = 0; d < 3; ++d)
+            initVel[i * 3 + d] = rng.normal(0.0, 0.25);
+    }
+}
+
+std::vector<Knobs>
+WaterNbodyKernel::knobSpace() const
+{
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4, 6}) {
+        space.push_back(Knobs{p, Precision::Double, false});
+        space.push_back(Knobs{p, Precision::Double, true});
+        space.push_back(Knobs{p, Precision::Float, false});
+    }
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{1, Precision::Double, true});
+    return space;
+}
+
+namespace {
+
+/** Total energy (kinetic + LJ potential inside the cutoff). */
+template <typename T>
+double
+systemEnergy(const std::vector<T> &pos, const std::vector<T> &vel,
+             std::size_t n)
+{
+    double energy = 0.0;
+    for (std::size_t i = 0; i < n * 3; ++i)
+        energy += 0.5 * static_cast<double>(vel[i]) *
+                  static_cast<double>(vel[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double r2 = 0;
+            for (int c = 0; c < 3; ++c) {
+                const double d = static_cast<double>(pos[i * 3 + c]) -
+                                 static_cast<double>(pos[j * 3 + c]);
+                r2 += d * d;
+            }
+            if (r2 > 9.0)
+                continue;
+            const double r2c = std::max(r2, 0.25);
+            const double inv6 = 1.0 / (r2c * r2c * r2c);
+            energy += 4.0 * inv6 * (inv6 - 1.0);
+        }
+    }
+    return energy;
+}
+
+/**
+ * Soft Lennard-Jones-like pair force magnitude over distance r2,
+ * clamped to avoid blowup at tiny separations.
+ */
+template <typename T>
+T
+pairForce(T r2)
+{
+    const T r2c = std::max(r2, static_cast<T>(0.25));
+    const T inv2 = static_cast<T>(1) / r2c;
+    const T inv6 = inv2 * inv2 * inv2;
+    return static_cast<T>(24) * inv6 * (static_cast<T>(2) * inv6 - 1) *
+           inv2;
+}
+
+template <typename T>
+std::pair<std::vector<T>, std::vector<T>>
+nbodyRun(const NbodyConfig &cfg, const std::vector<double> &pos0,
+         const std::vector<double> &vel0, const Knobs &knobs)
+{
+    const std::size_t n = cfg.bodies;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    std::vector<T> pos(pos0.begin(), pos0.end());
+    std::vector<T> vel(vel0.begin(), vel0.end());
+    std::vector<T> force(n * 3);
+    // Stale position buffer for sync elision (skipped barrier).
+    std::vector<T> staleView(pos);
+    const T dt = static_cast<T>(cfg.dt);
+
+    for (std::size_t step = 0; step < cfg.steps; ++step) {
+        // Refresh the stale view only every 4 steps when sync is
+        // elided; precise mode refreshes every step.
+        if (!knobs.elideSync || step % 4 == 0)
+            staleView = pos;
+        const std::vector<T> &view = knobs.elideSync ? staleView : pos;
+
+        std::fill(force.begin(), force.end(), static_cast<T>(0));
+        for (std::size_t i = 0; i < n; ++i) {
+            // Perforation computes a fixed 1/p subset of each row's
+            // pair interactions and rescales the force: the omitted
+            // pairs bias the force field, which is exactly the
+            // graded quality loss loop perforation trades for time.
+            for (std::size_t j = i + 1; j < n; j += p) {
+                T d[3];
+                T r2 = 0;
+                for (int c = 0; c < 3; ++c) {
+                    d[c] = view[i * 3 + c] - view[j * 3 + c];
+                    r2 += d[c] * d[c];
+                }
+                if (r2 > static_cast<T>(9))
+                    continue; // cutoff radius 3.0
+                const T f = pairForce<T>(r2) * static_cast<T>(p);
+                for (int c = 0; c < 3; ++c) {
+                    force[i * 3 + c] += f * d[c];
+                    force[j * 3 + c] -= f * d[c];
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < n * 3; ++i) {
+            vel[i] += force[i] * dt;
+            pos[i] += vel[i] * dt;
+        }
+    }
+
+    return {std::move(pos), std::move(vel)};
+}
+
+} // namespace
+
+double
+WaterNbodyKernel::execute(const Knobs &knobs)
+{
+    if (initialEnergy == 0.0) {
+        const std::vector<double> p0(initPos);
+        const std::vector<double> v0(initVel);
+        initialEnergy = systemEnergy<double>(p0, v0, cfg.bodies);
+    }
+
+    double finalEnergy;
+    if (knobs.precision == Precision::Float) {
+        auto [pos, vel] = nbodyRun<float>(cfg, initPos, initVel, knobs);
+        finalEnergy = systemEnergy<float>(pos, vel, cfg.bodies);
+    } else {
+        auto [pos, vel] = nbodyRun<double>(cfg, initPos, initVel, knobs);
+        finalEnergy = systemEnergy<double>(pos, vel, cfg.bodies);
+    }
+
+    // Relative energy drift over the run.
+    const double denom = std::max(std::abs(initialEnergy), 1e-9);
+    return std::abs(finalEnergy - initialEnergy) / denom;
+}
+
+double
+WaterNbodyKernel::quality(double approx_metric, double precise_metric)
+{
+    // Excess drift of the approximate integration over the precise
+    // one, scaled so typical perforation errors land on the paper's
+    // 0-20% inaccuracy range and saturating at 1.
+    const double excess = std::max(0.0, approx_metric - precise_metric);
+    return std::min(excess * 8.0, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// RaytraceKernel
+// ---------------------------------------------------------------------
+
+RaytraceKernel::RaytraceKernel(std::uint64_t seed, RaytraceConfig config)
+    : cfg(config)
+{
+    util::Rng rng(seed ^ 0x7ace);
+    scene.reserve(cfg.spheres * 6);
+    for (std::size_t s = 0; s < cfg.spheres; ++s) {
+        scene.push_back(rng.uniform(-6.0, 6.0));  // cx
+        scene.push_back(rng.uniform(-4.0, 4.0));  // cy
+        scene.push_back(rng.uniform(6.0, 18.0));  // cz
+        scene.push_back(rng.uniform(0.5, 1.6));   // radius
+        scene.push_back(rng.uniform(0.1, 0.7));   // reflectivity
+        scene.push_back(rng.uniform(0.2, 1.0));   // hue
+    }
+}
+
+std::vector<Knobs>
+RaytraceKernel::knobSpace() const
+{
+    // Raytrace offers few effective variants (the paper selects only
+    // two): pixel perforation dominates; precision barely matters.
+    std::vector<Knobs> space{Knobs{}};
+    for (int p : {2, 3, 4})
+        space.push_back(Knobs{p, Precision::Double, false});
+    space.push_back(Knobs{1, Precision::Float, false});
+    space.push_back(Knobs{2, Precision::Float, false});
+    return space;
+}
+
+namespace {
+
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x+o.x, y+o.y, z+o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x-o.x, y-o.y, z-o.z}; }
+    Vec3 operator*(double s) const { return {x*s, y*s, z*s}; }
+    double dot(const Vec3 &o) const { return x*o.x + y*o.y + z*o.z; }
+
+    Vec3
+    normalized() const
+    {
+        const double len = std::sqrt(dot(*this));
+        return len > 0 ? *this * (1.0 / len) : *this;
+    }
+};
+
+/** Ray/sphere hit test; returns hit distance or infinity. */
+double
+hitSphere(const Vec3 &origin, const Vec3 &dir, const double *sph)
+{
+    const Vec3 center{sph[0], sph[1], sph[2]};
+    const double radius = sph[3];
+    const Vec3 oc = origin - center;
+    const double b = oc.dot(dir);
+    const double c = oc.dot(oc) - radius * radius;
+    const double disc = b * b - c;
+    if (disc < 0)
+        return std::numeric_limits<double>::infinity();
+    const double t = -b - std::sqrt(disc);
+    return t > 1e-4 ? t : std::numeric_limits<double>::infinity();
+}
+
+/** Shade a ray recursively; returns scalar intensity in [0, ~2]. */
+double
+traceRay(const std::vector<double> &scene, Vec3 origin, Vec3 dir,
+         int depth)
+{
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_s = scene.size();
+    for (std::size_t s = 0; s + 5 < scene.size(); s += 6) {
+        const double t = hitSphere(origin, dir, &scene[s]);
+        if (t < best) {
+            best = t;
+            best_s = s;
+        }
+    }
+    if (best_s >= scene.size())
+        return 0.12; // background
+
+    const double *sph = &scene[best_s];
+    const Vec3 hit = origin + dir * best;
+    const Vec3 normal =
+        (hit - Vec3{sph[0], sph[1], sph[2]}).normalized();
+    const Vec3 light = Vec3{-0.4, 0.8, -0.45}.normalized();
+    const double diffuse = std::max(0.0, normal.dot(light));
+    double intensity = sph[5] * (0.15 + 0.85 * diffuse);
+
+    if (depth > 0 && sph[4] > 0.05) {
+        const Vec3 refl =
+            (dir - normal * (2.0 * dir.dot(normal))).normalized();
+        intensity += sph[4] * traceRay(scene, hit, refl, depth - 1);
+    }
+    return intensity;
+}
+
+} // namespace
+
+double
+RaytraceKernel::execute(const Knobs &knobs)
+{
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t p = static_cast<std::size_t>(knobs.perforation);
+    // Float precision shortens the reflection recursion — the
+    // low-precision variant the design space exposes.
+    const int depth =
+        knobs.precision == Precision::Float ? 1 : cfg.maxDepth;
+
+    std::vector<float> image(w * h, -1.0f);
+    const Vec3 eye{0, 0, -2};
+
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = y % p; x < w; x += p) {
+            const double u =
+                (static_cast<double>(x) / static_cast<double>(w) - 0.5) *
+                2.4;
+            const double v =
+                (static_cast<double>(y) / static_cast<double>(h) - 0.5) *
+                1.8;
+            const Vec3 dir = Vec3{u, v, 1.0}.normalized();
+            image[y * w + x] = static_cast<float>(
+                traceRay(scene, eye, dir, depth));
+        }
+        // Fill perforated pixels from the nearest rendered neighbour.
+        float last = 0.12f;
+        for (std::size_t x = 0; x < w; ++x) {
+            if (image[y * w + x] >= 0)
+                last = image[y * w + x];
+            else
+                image[y * w + x] = last;
+        }
+    }
+
+    double sum = 0.0;
+    for (float px : image)
+        sum += px;
+
+    lastImage = std::move(image);
+    if (knobs.isPrecise())
+        preciseImage = lastImage;
+    return sum / static_cast<double>(w * h);
+}
+
+double
+RaytraceKernel::quality(double, double)
+{
+    // Pixelwise mean absolute error normalized by mean intensity —
+    // much more faithful than comparing mean brightness.
+    if (preciseImage.empty() || lastImage.size() != preciseImage.size())
+        return 0.0;
+    double err = 0.0, ref = 0.0;
+    for (std::size_t i = 0; i < preciseImage.size(); ++i) {
+        err += std::abs(static_cast<double>(lastImage[i]) -
+                        static_cast<double>(preciseImage[i]));
+        ref += std::abs(static_cast<double>(preciseImage[i]));
+    }
+    return ref > 0 ? std::min(err / ref, 1.0) : 0.0;
+}
+
+} // namespace kernels
+} // namespace pliant

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Scientific-computing kernels: an n-body water-style simulation and
+ * a sphere-scene ray tracer.
+ *
+ * These stand in for SPLASH-2's water_nsquared / water_spatial and
+ * raytrace. The n-body kernel exposes perforation (skip far-pair
+ * force updates), sync elision (integrate from a stale position
+ * buffer, i.e. skip the barrier between force computation and
+ * integration), and float precision. The ray tracer exposes pixel
+ * perforation (render every p-th pixel and interpolate) and reduced
+ * recursion depth via float precision epsilon effects.
+ */
+
+#ifndef PLIANT_KERNELS_PHYSICS_HH
+#define PLIANT_KERNELS_PHYSICS_HH
+
+#include <cstdint>
+
+#include "kernels/kernel.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Configuration for the n-body kernel. */
+struct NbodyConfig
+{
+    std::size_t bodies = 600;
+    std::size_t steps = 80;
+    double dt = 2e-3;
+};
+
+/**
+ * All-pairs molecular-dynamics-style n-body under a Lennard-Jones-like
+ * potential. Output metric: relative energy drift |E(T) - E(0)| / |E(0)|
+ * — the standard integration-quality measure for MD; quality is the
+ * excess drift of the approximate run over the precise run.
+ */
+class WaterNbodyKernel : public ApproxKernel
+{
+  public:
+    explicit WaterNbodyKernel(std::uint64_t seed,
+                              NbodyConfig cfg = NbodyConfig{});
+
+    std::string name() const override { return "water_nsquared"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    NbodyConfig cfg;
+    std::vector<double> initPos;
+    std::vector<double> initVel;
+    double initialEnergy = 0.0;
+};
+
+/** Configuration for the ray tracer. */
+struct RaytraceConfig
+{
+    std::size_t width = 160;
+    std::size_t height = 120;
+    std::size_t spheres = 24;
+    int maxDepth = 4;
+};
+
+/**
+ * Recursive sphere-scene ray tracer with reflections. Perforation
+ * renders every p-th pixel (others are filled by nearest rendered
+ * neighbour); output metric derives from mean per-pixel error vs the
+ * precise image.
+ */
+class RaytraceKernel : public ApproxKernel
+{
+  public:
+    explicit RaytraceKernel(std::uint64_t seed,
+                            RaytraceConfig cfg = RaytraceConfig{});
+
+    std::string name() const override { return "raytrace"; }
+    std::vector<Knobs> knobSpace() const override;
+
+  protected:
+    double execute(const Knobs &knobs) override;
+    double quality(double approx_metric, double precise_metric) override;
+
+  private:
+    RaytraceConfig cfg;
+    // Scene: packed sphere records {cx, cy, cz, r, reflectivity, hue}.
+    std::vector<double> scene;
+    // Retained precise image for pixelwise comparison.
+    std::vector<float> preciseImage;
+    std::vector<float> lastImage;
+};
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_PHYSICS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Central registry mapping kernel names to factories.
+ */
+
+#include "kernels/kernel.hh"
+
+#include "kernels/annealing.hh"
+#include "kernels/bio.hh"
+#include "kernels/clustering.hh"
+#include "kernels/mining.hh"
+#include "kernels/ml.hh"
+#include "kernels/physics.hh"
+#include "util/logging.hh"
+
+namespace pliant {
+namespace kernels {
+
+namespace {
+
+template <typename K>
+KernelEntry
+entry(const std::string &name)
+{
+    return KernelEntry{
+        name,
+        [](std::uint64_t seed) -> std::unique_ptr<ApproxKernel> {
+            return std::make_unique<K>(seed);
+        }};
+}
+
+} // namespace
+
+const std::vector<KernelEntry> &
+kernelRegistry()
+{
+    static const std::vector<KernelEntry> registry = {
+        entry<KmeansKernel>("kmeans"),
+        entry<FuzzyKmeansKernel>("fuzzy_kmeans"),
+        entry<NaiveBayesKernel>("naive_bayes"),
+        entry<BirchKernel>("birch"),
+        entry<CannealKernel>("canneal"),
+        entry<StreamclusterKernel>("streamcluster"),
+        entry<WaterNbodyKernel>("water_nsquared"),
+        entry<RaytraceKernel>("raytrace"),
+        entry<SnpKernel>("snp"),
+        entry<SmithWatermanKernel>("smith_waterman"),
+        entry<ViterbiKernel>("viterbi_hmm"),
+        entry<PlsaKernel>("plsa"),
+        entry<ScalParCKernel>("scalparc"),
+        entry<ClustalKernel>("clustalw"),
+        entry<GlimmerKernel>("glimmer"),
+    };
+    return registry;
+}
+
+std::unique_ptr<ApproxKernel>
+makeKernel(const std::string &name, std::uint64_t seed)
+{
+    for (const auto &e : kernelRegistry()) {
+        if (e.name == name)
+            return e.make(seed);
+    }
+    util::fatal("unknown kernel: ", name);
+}
+
+} // namespace kernels
+} // namespace pliant

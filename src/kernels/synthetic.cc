@@ -1,0 +1,208 @@
+#include "kernels/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace kernels {
+
+BlobData
+makeBlobs(util::Rng &rng, std::size_t n, std::size_t dim, std::size_t k,
+          double spread)
+{
+    if (k == 0 || n == 0 || dim == 0)
+        util::fatal("makeBlobs requires positive n, dim, k");
+
+    BlobData blobs;
+    blobs.centers.rows = k;
+    blobs.centers.cols = dim;
+    blobs.centers.data.resize(k * dim);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < dim; ++d)
+            blobs.centers.at(c, d) = rng.uniform(-10.0, 10.0);
+
+    blobs.points.rows = n;
+    blobs.points.cols = dim;
+    blobs.points.data.resize(n * dim);
+    blobs.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c =
+            static_cast<std::size_t>(rng.uniformInt(k));
+        blobs.labels[i] = static_cast<int>(c);
+        for (std::size_t d = 0; d < dim; ++d) {
+            blobs.points.at(i, d) =
+                blobs.centers.at(c, d) + rng.normal(0.0, spread);
+        }
+    }
+    return blobs;
+}
+
+GenotypeData
+makeGenotypes(util::Rng &rng, std::size_t individuals, std::size_t snps,
+              std::size_t n_causal)
+{
+    GenotypeData g;
+    g.individuals = individuals;
+    g.snps = snps;
+    g.genotypes.resize(individuals * snps);
+    g.phenotype.resize(individuals);
+
+    // Pick causal SNPs.
+    while (g.causal.size() < n_causal) {
+        const std::size_t s =
+            static_cast<std::size_t>(rng.uniformInt(snps));
+        if (std::find(g.causal.begin(), g.causal.end(), s) ==
+            g.causal.end()) {
+            g.causal.push_back(s);
+        }
+    }
+
+    // Per-SNP minor allele frequency.
+    std::vector<double> maf(snps);
+    for (auto &f : maf)
+        f = rng.uniform(0.05, 0.5);
+
+    for (std::size_t i = 0; i < individuals; ++i) {
+        double risk = 0.0;
+        for (std::size_t s = 0; s < snps; ++s) {
+            const int a1 = rng.coin(maf[s]) ? 1 : 0;
+            const int a2 = rng.coin(maf[s]) ? 1 : 0;
+            const std::uint8_t geno = static_cast<std::uint8_t>(a1 + a2);
+            g.genotypes[i * snps + s] = geno;
+            if (std::find(g.causal.begin(), g.causal.end(), s) !=
+                g.causal.end()) {
+                risk += 1.6 * geno;
+            }
+        }
+        const double p = 1.0 / (1.0 + std::exp(-(risk - 1.0)));
+        g.phenotype[i] = rng.coin(p) ? 1 : 0;
+    }
+    return g;
+}
+
+std::string
+makeSequence(util::Rng &rng, std::size_t length,
+             const std::string &alphabet)
+{
+    std::string s(length, 'A');
+    for (auto &ch : s)
+        ch = alphabet[static_cast<std::size_t>(
+            rng.uniformInt(alphabet.size()))];
+    return s;
+}
+
+std::string
+mutateSequence(util::Rng &rng, const std::string &base, double sub_rate)
+{
+    static const std::string kDna = "ACGT";
+    std::string out;
+    out.reserve(base.size());
+    for (char ch : base) {
+        const double u = rng.uniform();
+        if (u < sub_rate) {
+            out += kDna[static_cast<std::size_t>(rng.uniformInt(4))];
+        } else if (u < sub_rate + 0.01) {
+            // Short insertion.
+            out += ch;
+            out += kDna[static_cast<std::size_t>(rng.uniformInt(4))];
+        } else if (u < sub_rate + 0.02) {
+            // Deletion: skip this position.
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+Netlist
+makeNetlist(util::Rng &rng, std::size_t elements, std::size_t avg_degree)
+{
+    Netlist net;
+    net.elements = elements;
+    net.gridSide = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(elements))));
+    net.adjacency.resize(elements);
+
+    for (std::size_t i = 0; i < elements; ++i) {
+        const std::size_t degree =
+            1 + static_cast<std::size_t>(rng.uniformInt(2 * avg_degree));
+        for (std::size_t d = 0; d < degree; ++d) {
+            // Locality bias: most nets connect nearby element ids.
+            std::size_t j;
+            if (rng.coin(0.7)) {
+                const std::int64_t offset =
+                    static_cast<std::int64_t>(rng.uniformInt(64)) - 32;
+                std::int64_t cand =
+                    static_cast<std::int64_t>(i) + offset;
+                cand = std::clamp<std::int64_t>(
+                    cand, 0, static_cast<std::int64_t>(elements) - 1);
+                j = static_cast<std::size_t>(cand);
+            } else {
+                j = static_cast<std::size_t>(rng.uniformInt(elements));
+            }
+            if (j != i)
+                net.adjacency[i].push_back(
+                    static_cast<std::uint32_t>(j));
+        }
+    }
+    return net;
+}
+
+TermDocData
+makeTermDoc(util::Rng &rng, std::size_t docs, std::size_t terms,
+            std::size_t topics)
+{
+    TermDocData td;
+    td.docs = docs;
+    td.terms = terms;
+    td.topics = topics;
+    td.counts.assign(docs * terms, 0.0);
+
+    // Topic-term distributions: each topic peaks on a band of terms.
+    std::vector<double> topicTerm(topics * terms);
+    for (std::size_t z = 0; z < topics; ++z) {
+        double norm = 0.0;
+        for (std::size_t w = 0; w < terms; ++w) {
+            const double center =
+                static_cast<double>(z + 1) * static_cast<double>(terms) /
+                static_cast<double>(topics + 1);
+            const double dist =
+                (static_cast<double>(w) - center) /
+                (0.15 * static_cast<double>(terms));
+            const double weight =
+                std::exp(-0.5 * dist * dist) + 0.01 * rng.uniform();
+            topicTerm[z * terms + w] = weight;
+            norm += weight;
+        }
+        for (std::size_t w = 0; w < terms; ++w)
+            topicTerm[z * terms + w] /= norm;
+    }
+
+    for (std::size_t d = 0; d < docs; ++d) {
+        // Document topic mixture concentrated on 1-2 topics.
+        const std::size_t main_z =
+            static_cast<std::size_t>(rng.uniformInt(topics));
+        const std::size_t len =
+            80 + static_cast<std::size_t>(rng.uniformInt(120));
+        for (std::size_t t = 0; t < len; ++t) {
+            const std::size_t z = rng.coin(0.8)
+                ? main_z
+                : static_cast<std::size_t>(rng.uniformInt(topics));
+            // Sample a term from topic z by inverse CDF.
+            double u = rng.uniform();
+            std::size_t w = 0;
+            for (; w + 1 < terms; ++w) {
+                u -= topicTerm[z * terms + w];
+                if (u <= 0)
+                    break;
+            }
+            td.counts[d * terms + w] += 1.0;
+        }
+    }
+    return td;
+}
+
+} // namespace kernels
+} // namespace pliant

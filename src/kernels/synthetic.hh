@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Synthetic input generators shared by the approximate kernels.
+ *
+ * The paper's kernels consume benchmark-suite inputs (PARSEC sim
+ * inputs, MineBench data sets, BioPerf sequence databases). Those are
+ * not redistributable here, so each kernel generates a statistically
+ * similar synthetic input from a seed: Gaussian mixture point clouds
+ * for the clustering codes, genotype matrices for SNP, random DNA /
+ * protein sequences for the alignment codes, netlists for canneal.
+ */
+
+#ifndef PLIANT_KERNELS_SYNTHETIC_HH
+#define PLIANT_KERNELS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace kernels {
+
+/** Dense row-major matrix of doubles. */
+struct Matrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<double> data;
+
+    double &at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+};
+
+/**
+ * Points drawn from a mixture of `k` spherical Gaussians in `dim`
+ * dimensions; labels records the generating component.
+ */
+struct BlobData
+{
+    Matrix points;
+    std::vector<int> labels;
+    Matrix centers;
+};
+
+/** Generate a Gaussian-mixture point cloud. */
+BlobData makeBlobs(util::Rng &rng, std::size_t n, std::size_t dim,
+                   std::size_t k, double spread = 0.6);
+
+/**
+ * Genotype matrix for SNP association: n individuals x m SNPs with
+ * values {0,1,2}, a binary phenotype, and a set of truly associated
+ * SNP indices.
+ */
+struct GenotypeData
+{
+    std::size_t individuals = 0;
+    std::size_t snps = 0;
+    std::vector<std::uint8_t> genotypes; // row-major individuals x snps
+    std::vector<std::uint8_t> phenotype; // 0/1 per individual
+    std::vector<std::size_t> causal;     // truly associated SNP indices
+};
+
+/** Generate a genotype study with `n_causal` truly associated SNPs. */
+GenotypeData makeGenotypes(util::Rng &rng, std::size_t individuals,
+                           std::size_t snps, std::size_t n_causal);
+
+/** Random sequence over the given alphabet. */
+std::string makeSequence(util::Rng &rng, std::size_t length,
+                         const std::string &alphabet = "ACGT");
+
+/**
+ * A mutated copy of `base`: per-position substitution probability
+ * `sub_rate`, plus occasional short indels, producing realistic local
+ * alignment targets.
+ */
+std::string mutateSequence(util::Rng &rng, const std::string &base,
+                           double sub_rate);
+
+/**
+ * Netlist for the canneal-style annealer: elements on a grid, each
+ * with a small set of nets connecting it to other elements.
+ */
+struct Netlist
+{
+    std::size_t elements = 0;
+    std::size_t gridSide = 0;
+    // adjacency[i] lists the elements element i shares a net with.
+    std::vector<std::vector<std::uint32_t>> adjacency;
+};
+
+/** Generate a random netlist with locality-biased connectivity. */
+Netlist makeNetlist(util::Rng &rng, std::size_t elements,
+                    std::size_t avg_degree);
+
+/**
+ * Sparse term-document count matrix for the PLSA kernel.
+ */
+struct TermDocData
+{
+    std::size_t docs = 0;
+    std::size_t terms = 0;
+    std::size_t topics = 0;
+    // Row-major docs x terms counts.
+    std::vector<double> counts;
+};
+
+/** Generate a corpus from a latent-topic model. */
+TermDocData makeTermDoc(util::Rng &rng, std::size_t docs,
+                        std::size_t terms, std::size_t topics);
+
+} // namespace kernels
+} // namespace pliant
+
+#endif // PLIANT_KERNELS_SYNTHETIC_HH

@@ -1,0 +1,70 @@
+#include "server/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace server {
+
+CachePartition::CachePartition(const ServerSpec &spec, int service_ways)
+    : llcMb(spec.llcMB), total(spec.llcWays), svcWays(service_ways)
+{
+    if (service_ways < 0 || service_ways > total - minCorunnerWays)
+        util::fatal("service ways ", service_ways, " out of range [0, ",
+                    total - minCorunnerWays, "]");
+}
+
+bool
+CachePartition::grow()
+{
+    if (svcWays >= total - minCorunnerWays)
+        return false;
+    ++svcWays;
+    return true;
+}
+
+bool
+CachePartition::shrink()
+{
+    if (svcWays <= 0)
+        return false;
+    --svcWays;
+    return true;
+}
+
+double
+CachePartition::serviceCapacityMb() const
+{
+    if (!isolated())
+        return llcMb;
+    return llcMb * static_cast<double>(svcWays) /
+           static_cast<double>(total);
+}
+
+double
+CachePartition::corunnerCapacityMb() const
+{
+    if (!isolated())
+        return llcMb;
+    return llcMb * static_cast<double>(total - svcWays) /
+           static_cast<double>(total);
+}
+
+double
+CachePartition::corunnerBwAmplification(double corun_llc_mb) const
+{
+    if (!isolated())
+        return 1.0;
+    const double capacity = corunnerCapacityMb();
+    if (corun_llc_mb <= capacity || capacity <= 0)
+        return 1.0;
+    // Each MB of working set that no longer fits streams from DRAM;
+    // amplification grows with the overflow ratio, saturating at 2x.
+    const double overflow = (corun_llc_mb - capacity) / capacity;
+    return 1.0 + std::min(overflow * 0.8, 1.0);
+}
+
+} // namespace server
+} // namespace pliant

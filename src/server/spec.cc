@@ -1,0 +1,38 @@
+#include "server/spec.hh"
+
+#include <sstream>
+
+namespace pliant {
+namespace server {
+
+std::vector<std::pair<std::string, std::string>>
+ServerSpec::describe() const
+{
+    auto str = [](auto v) {
+        std::ostringstream ss;
+        ss << v;
+        return ss.str();
+    };
+    return {
+        {"Model", model},
+        {"OS", os},
+        {"Sockets", str(sockets)},
+        {"Cores/Socket", str(coresPerSocket)},
+        {"Threads/Core", str(threadsPerCore)},
+        {"Base/Max Turbo Frequency",
+         str(baseGhz) + "GHz / " + str(turboGhz) + "GHz"},
+        {"L1 Inst/Data Cache", str(l1KB) + " / " + str(l1KB) + " KB"},
+        {"L2 Cache", str(l2KB) + "KB"},
+        {"L3 (Last-Level) Cache",
+         str(llcMB) + " MB, " + str(llcWays) + " ways"},
+        {"Memory", "16GBx8, " + str(memoryMHz) + "MHz DDR4"},
+        {"Disk", disk},
+        {"Network Bandwidth", str(networkGbps) + "Gbps"},
+        {"Peak Memory Bandwidth", str(peakMemBwGbs()) + " GB/s"},
+        {"IRQ Cores (reserved)", str(irqCores)},
+        {"Usable Cores (per socket)", str(usableCores())},
+    };
+}
+
+} // namespace server
+} // namespace pliant

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simulated server platform specification (Table 1 of the paper) and
+ * the derived experiment topology (core partitioning, shared LLC and
+ * memory bandwidth).
+ */
+
+#ifndef PLIANT_SERVER_SPEC_HH
+#define PLIANT_SERVER_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace pliant {
+namespace server {
+
+/**
+ * Platform specification mirroring Table 1: a dual-socket Intel Xeon
+ * E5-2699 v4 server. Experiments use a single socket to avoid NUMA
+ * effects; 6 physical cores are dedicated to network interrupts,
+ * and the remainder are shared by the colocated containers.
+ */
+struct ServerSpec
+{
+    std::string model = "Intel Xeon E5-2699 v4 (simulated)";
+    std::string os = "Ubuntu 16.04 (kernel 4.14)";
+    int sockets = 2;
+    int coresPerSocket = 22;
+    int threadsPerCore = 2;
+    double baseGhz = 2.2;
+    double turboGhz = 3.6;
+    int l1KB = 32;
+    int l2KB = 256;
+    double llcMB = 55.0;
+    int llcWays = 20;
+    int memoryGB = 128;
+    int memoryMHz = 2400;
+    int memoryChannels = 4;
+    std::string disk = "1TB 7200RPM HDD";
+    double networkGbps = 10.0;
+
+    /** Cores reserved for soft-irq network interrupt handling. */
+    int irqCores = 6;
+
+    /**
+     * Peak memory bandwidth in GB/s (channels x 8 B x MT/s), the
+     * denominator of the bandwidth-contention model.
+     */
+    double peakMemBwGbs() const
+    {
+        return memoryChannels * 8.0 * memoryMHz / 1000.0;
+    }
+
+    /** Cores available to the colocated containers on one socket. */
+    int usableCores() const { return coresPerSocket - irqCores; }
+
+    /** Rows of (field, value) for printing Table 1. */
+    std::vector<std::pair<std::string, std::string>> describe() const;
+};
+
+} // namespace server
+} // namespace pliant
+
+#endif // PLIANT_SERVER_SPEC_HH

@@ -1,0 +1,41 @@
+#include "sim/clock.hh"
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace sim {
+
+Clock::Clock(Time step) : stepSize(step)
+{
+    if (step <= 0)
+        util::fatal("Clock step must be positive, got ", step);
+}
+
+Time
+Clock::advance()
+{
+    current += stepSize;
+    return current;
+}
+
+void
+PeriodicScheduler::addPeriodic(Time period, Callback cb, bool fireAtZero)
+{
+    if (period <= 0)
+        util::fatal("periodic task period must be positive, got ", period);
+    tasks.push_back(Task{period, fireAtZero ? 0 : period, std::move(cb)});
+}
+
+void
+PeriodicScheduler::runDue(Time now)
+{
+    for (auto &task : tasks) {
+        while (task.next <= now) {
+            task.cb(now);
+            task.next += task.period;
+        }
+    }
+}
+
+} // namespace sim
+} // namespace pliant

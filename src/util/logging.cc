@@ -1,0 +1,35 @@
+#include "util/logging.hh"
+
+namespace pliant {
+namespace util {
+
+namespace {
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::cerr << "[" << tag << "] " << msg << '\n';
+}
+
+} // namespace detail
+
+} // namespace util
+} // namespace pliant

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tiny leveled logger plus fatal/panic helpers, in the spirit of
+ * gem5's logging.hh: panic() for internal invariant violations,
+ * fatal() for user/configuration errors.
+ */
+
+#ifndef PLIANT_UTIL_LOGGING_HH
+#define PLIANT_UTIL_LOGGING_HH
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pliant {
+namespace util {
+
+/** Log verbosity levels. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level (default Warn; benches may raise it). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+} // namespace detail
+
+/** Informational message (suppressed below Info). */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    detail::emit(LogLevel::Info, "info", ss.str());
+}
+
+/** Warning: something works but deserves attention. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    detail::emit(LogLevel::Warn, "warn", ss.str());
+}
+
+/** Debug trace (suppressed below Debug). */
+template <typename... Args>
+void
+trace(const Args &...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    detail::emit(LogLevel::Debug, "debug", ss.str());
+}
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Internal invariant violation (a bug in this library). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Raise a FatalError with a formatted message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    throw FatalError(ss.str());
+}
+
+/** Raise a PanicError with a formatted message. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream ss;
+    (ss << ... << args);
+    throw PanicError(ss.str());
+}
+
+/** Panic unless the condition holds. */
+#define PLIANT_ASSERT(cond, msg)                                        \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::pliant::util::panic("assertion failed: ", #cond, " — ",  \
+                                  msg);                                 \
+    } while (0)
+
+} // namespace util
+} // namespace pliant
+
+#endif // PLIANT_UTIL_LOGGING_HH

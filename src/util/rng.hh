@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * Every stochastic element in the Pliant testbed (arrival processes,
+ * service-time noise, burst phases, calibration jitter) draws from a
+ * seeded Rng so that experiments are exactly reproducible run-to-run.
+ */
+
+#ifndef PLIANT_UTIL_RNG_HH
+#define PLIANT_UTIL_RNG_HH
+
+#include <cstdint>
+#include <cmath>
+
+namespace pliant {
+namespace util {
+
+/**
+ * SplitMix64 generator, used to seed Xoshiro and for cheap hashing.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Advance and return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** PRNG with convenience distributions.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be plugged into
+ * <random> distributions where needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            std::uint64_t t = -n % n;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool coin(double p) { return uniform() < p; }
+
+    /** Exponential variate with the given rate (mean 1/rate). */
+    double
+    exponential(double rate)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -std::log(u) / rate;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal()
+    {
+        if (hasSpare) {
+            hasSpare = false;
+            return spare;
+        }
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586476925286766559 * u2;
+        spare = r * std::sin(theta);
+        hasSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal variate with given mean and standard deviation. */
+    double normal(double mean, double sd) { return mean + sd * normal(); }
+
+    /**
+     * Lognormal variate parameterized by the desired mean and coefficient
+     * of variation of the *resulting* distribution (convenient for
+     * service-time modeling).
+     */
+    double
+    lognormalMeanCv(double mean, double cv)
+    {
+        const double sigma2 = std::log(1.0 + cv * cv);
+        const double mu = std::log(mean) - 0.5 * sigma2;
+        return std::exp(normal(mu, std::sqrt(sigma2)));
+    }
+
+    /** Fork an independent, deterministically-derived child stream. */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+    double spare = 0.0;
+    bool hasSpare = false;
+};
+
+} // namespace util
+} // namespace pliant
+
+#endif // PLIANT_UTIL_RNG_HH

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Streaming summary statistics and percentile estimation.
+ */
+
+#ifndef PLIANT_UTIL_STATS_HH
+#define PLIANT_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pliant {
+namespace util {
+
+/**
+ * Welford-style streaming mean/variance plus min/max tracking.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanVal;
+        meanVal += delta / static_cast<double>(n);
+        m2 += delta * (x - meanVal);
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+        sumVal += x;
+    }
+
+    /** Merge another accumulator into this one (parallel-safe pattern). */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.meanVal - meanVal;
+        const std::size_t total = n + other.n;
+        meanVal += delta * static_cast<double>(other.n) /
+                   static_cast<double>(total);
+        m2 += other.m2 + delta * delta *
+              static_cast<double>(n) * static_cast<double>(other.n) /
+              static_cast<double>(total);
+        minVal = std::min(minVal, other.minVal);
+        maxVal = std::max(maxVal, other.maxVal);
+        sumVal += other.sumVal;
+        n = total;
+    }
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? meanVal : 0.0; }
+    double sum() const { return sumVal; }
+
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n ? minVal : 0.0; }
+    double max() const { return n ? maxVal : 0.0; }
+
+    /** Coefficient of variation (0 when the mean is 0). */
+    double
+    cv() const
+    {
+        return meanVal != 0.0 ? stddev() / meanVal : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = RunningStats();
+    }
+
+  private:
+    std::size_t n = 0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double sumVal = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Exact percentile computation over a retained sample vector.
+ *
+ * Used where windows are small (one decision interval of latency
+ * samples); for unbounded streams use P2Quantile below.
+ */
+class PercentileWindow
+{
+  public:
+    void add(double x) { samples.push_back(x); }
+
+    void
+    clear()
+    {
+        samples.clear();
+    }
+
+    std::size_t count() const { return samples.size(); }
+
+    /**
+     * Percentile via linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     * @return 0 when the window is empty.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples.empty())
+            return 0.0;
+        std::vector<double> sorted(samples);
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted.size() == 1)
+            return sorted.front();
+        const double rank = (p / 100.0) *
+            static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    }
+
+    double p99() const { return percentile(99.0); }
+    double p50() const { return percentile(50.0); }
+
+    double
+    mean() const
+    {
+        if (samples.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double x : samples)
+            s += x;
+        return s / static_cast<double>(samples.size());
+    }
+
+    const std::vector<double> &data() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+};
+
+/**
+ * P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory,
+ * suitable for monitoring long latency streams without retention.
+ */
+class P2Quantile
+{
+  public:
+    /** @param quantile target quantile in (0, 1), e.g. 0.99. */
+    explicit P2Quantile(double quantile) : q(quantile) {}
+
+    /** Feed one observation. */
+    void
+    add(double x)
+    {
+        if (count_ < 5) {
+            heights[count_++] = x;
+            if (count_ == 5) {
+                std::sort(heights, heights + 5);
+                for (int i = 0; i < 5; ++i)
+                    positions[i] = i + 1;
+                desired[0] = 1;
+                desired[1] = 1 + 2 * q;
+                desired[2] = 1 + 4 * q;
+                desired[3] = 3 + 2 * q;
+                desired[4] = 5;
+                increments[0] = 0;
+                increments[1] = q / 2;
+                increments[2] = q;
+                increments[3] = (1 + q) / 2;
+                increments[4] = 1;
+            }
+            return;
+        }
+
+        int k;
+        if (x < heights[0]) {
+            heights[0] = x;
+            k = 0;
+        } else if (x >= heights[4]) {
+            heights[4] = x;
+            k = 3;
+        } else {
+            k = 0;
+            while (k < 3 && x >= heights[k + 1])
+                ++k;
+        }
+
+        for (int i = k + 1; i < 5; ++i)
+            ++positions[i];
+        for (int i = 0; i < 5; ++i)
+            desired[i] += increments[i];
+
+        for (int i = 1; i <= 3; ++i) {
+            const double d = desired[i] - positions[i];
+            const bool up = d >= 1 && positions[i + 1] - positions[i] > 1;
+            const bool down = d <= -1 && positions[i - 1] - positions[i] < -1;
+            if (up || down) {
+                const int sign = d >= 0 ? 1 : -1;
+                const double candidate = parabolic(i, sign);
+                if (heights[i - 1] < candidate &&
+                    candidate < heights[i + 1]) {
+                    heights[i] = candidate;
+                } else {
+                    heights[i] = linear(i, sign);
+                }
+                positions[i] += sign;
+            }
+        }
+        ++count_;
+    }
+
+    /** Current quantile estimate (exact for < 5 observations). */
+    double
+    value() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        if (count_ < 5) {
+            std::vector<double> v(heights, heights + count_);
+            std::sort(v.begin(), v.end());
+            const double rank = q * static_cast<double>(count_ - 1);
+            const std::size_t lo = static_cast<std::size_t>(rank);
+            const std::size_t hi = std::min(lo + 1, v.size() - 1);
+            const double frac = rank - static_cast<double>(lo);
+            return v[lo] + frac * (v[hi] - v[lo]);
+        }
+        return heights[2];
+    }
+
+    std::size_t count() const { return count_; }
+
+  private:
+    double
+    parabolic(int i, int sign) const
+    {
+        const double d = static_cast<double>(sign);
+        return heights[i] + d / (positions[i + 1] - positions[i - 1]) *
+            ((positions[i] - positions[i - 1] + d) *
+                 (heights[i + 1] - heights[i]) /
+                 (positions[i + 1] - positions[i]) +
+             (positions[i + 1] - positions[i] - d) *
+                 (heights[i] - heights[i - 1]) /
+                 (positions[i] - positions[i - 1]));
+    }
+
+    double
+    linear(int i, int sign) const
+    {
+        return heights[i] + sign * (heights[i + sign] - heights[i]) /
+            (positions[i + sign] - positions[i]);
+    }
+
+    double q;
+    double heights[5] = {};
+    double positions[5] = {};
+    double desired[5] = {};
+    double increments[5] = {};
+    std::size_t count_ = 0;
+};
+
+/**
+ * Fixed-capacity uniform reservoir sample, for distribution summaries
+ * (violin plots) over long runs.
+ */
+template <typename RngType>
+class Reservoir
+{
+  public:
+    explicit Reservoir(std::size_t capacity) : cap(capacity) {}
+
+    void
+    add(double x, RngType &rng)
+    {
+        ++seen;
+        if (items.size() < cap) {
+            items.push_back(x);
+        } else {
+            const std::uint64_t j = rng.uniformInt(seen);
+            if (j < cap)
+                items[static_cast<std::size_t>(j)] = x;
+        }
+    }
+
+    const std::vector<double> &data() const { return items; }
+    std::size_t seenCount() const { return seen; }
+
+  private:
+    std::size_t cap;
+    std::uint64_t seen = 0;
+    std::vector<double> items;
+};
+
+/**
+ * Five-number summary (min, q1, median, q3, max) of a sample —
+ * the data behind a violin/box plot.
+ */
+struct FiveNumber
+{
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+
+    static FiveNumber
+    of(std::vector<double> v)
+    {
+        FiveNumber f;
+        if (v.empty())
+            return f;
+        std::sort(v.begin(), v.end());
+        auto at = [&](double p) {
+            const double rank = p * static_cast<double>(v.size() - 1);
+            const std::size_t lo = static_cast<std::size_t>(rank);
+            const std::size_t hi = std::min(lo + 1, v.size() - 1);
+            const double frac = rank - static_cast<double>(lo);
+            return v[lo] + frac * (v[hi] - v[lo]);
+        };
+        f.min = v.front();
+        f.q1 = at(0.25);
+        f.median = at(0.5);
+        f.q3 = at(0.75);
+        f.max = v.back();
+        return f;
+    }
+};
+
+} // namespace util
+} // namespace pliant
+
+#endif // PLIANT_UTIL_STATS_HH

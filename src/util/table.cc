@@ -1,0 +1,118 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/histogram.hh"
+
+namespace pliant {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size())
+        throw std::invalid_argument("TextTable row arity mismatch");
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+
+    line(head);
+    std::string rule;
+    for (std::size_t c = 0; c < head.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows)
+        line(row);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    bool first = true;
+    for (const auto &f : fields) {
+        if (!first)
+            out << ',';
+        first = false;
+        const bool quote =
+            f.find_first_of(",\"\n") != std::string::npos;
+        if (quote) {
+            out << '"';
+            for (char ch : f) {
+                if (ch == '"')
+                    out << '"';
+                out << ch;
+            }
+            out << '"';
+        } else {
+            out << f;
+        }
+    }
+    out << '\n';
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return ss.str();
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string
+sparkline(const std::vector<double> &series)
+{
+    static const char *levels[] = {
+        "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█"
+    };
+    if (series.empty())
+        return "";
+    double lo = series.front(), hi = series.front();
+    for (double v : series) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    const double span = hi - lo;
+    for (double v : series) {
+        int idx = span > 0
+            ? static_cast<int>((v - lo) / span * 7.999)
+            : 0;
+        out += levels[idx];
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace pliant

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests pinning the 24-application catalog to the paper's Fig. 1 and
+ * Section 5 facts: suite membership, variant counts, inaccuracy
+ * budget, and the per-application behaviours the evaluation relies on.
+ */
+
+#include "approx/profile.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant::approx;
+
+TEST(CatalogTest, HasTwentyFourApplications)
+{
+    EXPECT_EQ(catalog().size(), 24u);
+}
+
+TEST(CatalogTest, SuiteCountsMatchPaper)
+{
+    // 3 PARSEC + 3 SPLASH-2 + 10 MineBench + 8 BioPerf.
+    int parsec = 0, splash = 0, mine = 0, bio = 0;
+    for (const auto &p : catalog()) {
+        switch (p.suite) {
+          case Suite::Parsec:
+            ++parsec;
+            break;
+          case Suite::Splash2:
+            ++splash;
+            break;
+          case Suite::MineBench:
+            ++mine;
+            break;
+          case Suite::BioPerf:
+            ++bio;
+            break;
+        }
+    }
+    EXPECT_EQ(parsec, 3);
+    EXPECT_EQ(splash, 3);
+    EXPECT_EQ(mine, 10);
+    EXPECT_EQ(bio, 8);
+}
+
+TEST(CatalogTest, VariantCountsMatchFigureOne)
+{
+    // The paper calls out these counts explicitly.
+    EXPECT_EQ(findProfile("canneal").mostApproxIndex(), 4);
+    EXPECT_EQ(findProfile("raytrace").mostApproxIndex(), 2);
+    EXPECT_EQ(findProfile("bayesian").mostApproxIndex(), 8);
+    EXPECT_EQ(findProfile("snp").mostApproxIndex(), 5);
+    EXPECT_EQ(findProfile("plsa").mostApproxIndex(), 8);
+}
+
+TEST(CatalogTest, AllVariantListsValid)
+{
+    for (const auto &p : catalog())
+        EXPECT_EQ(validateVariants(p.variants), "") << p.name;
+}
+
+TEST(CatalogTest, InaccuraciesWithinFivePercentBudget)
+{
+    for (const auto &p : catalog())
+        for (const auto &v : p.variants)
+            EXPECT_LE(v.inaccuracy, 0.05)
+                << p.name << " variant " << v.index;
+}
+
+TEST(CatalogTest, ExecTimeImprovesWithApproximation)
+{
+    for (const auto &p : catalog()) {
+        for (std::size_t i = 1; i < p.variants.size(); ++i) {
+            EXPECT_LE(p.variants[i].execTimeNorm,
+                      p.variants[i - 1].execTimeNorm + 1e-12)
+                << p.name;
+        }
+    }
+}
+
+TEST(CatalogTest, WaterSpatialIsAlmostVertical)
+{
+    // Fig. 1: water_spatial's variants barely improve execution time.
+    const AppProfile &p = findProfile("water_spatial");
+    EXPECT_GE(p.variants.back().execTimeNorm, 0.9);
+    EXPECT_GT(p.variants.back().inaccuracy, 0.03);
+}
+
+TEST(CatalogTest, WaterSpatialHasWorstDynrecOverhead)
+{
+    const AppProfile &ws = findProfile("water_spatial");
+    for (const auto &p : catalog())
+        EXPECT_LE(p.dynrecOverhead, ws.dynrecOverhead) << p.name;
+    EXPECT_NEAR(ws.dynrecOverhead, 0.089, 1e-9);
+}
+
+TEST(CatalogTest, MeanDynrecOverheadNearPaperValue)
+{
+    double sum = 0.0;
+    for (const auto &p : catalog())
+        sum += p.dynrecOverhead;
+    // Paper: 3.8% average across the 24 applications.
+    EXPECT_NEAR(sum / 24.0, 0.038, 0.012);
+}
+
+TEST(CatalogTest, CannealCarriesSyncElisionNoise)
+{
+    // The canneal + memcached 5.4% outlier needs nondeterministic
+    // sync-elision noise on top of the 3.4% variant inaccuracy.
+    const AppProfile &p = findProfile("canneal");
+    EXPECT_GT(p.syncElisionNoise, 0.0);
+}
+
+TEST(CatalogTest, SnpHasStrongestLlcRelief)
+{
+    // Paper: SNP's variants are particularly effective at reducing
+    // LLC contention (approximation alone meets memcached's QoS).
+    const AppProfile &snp = findProfile("snp");
+    const double snp_relief = 1.0 - snp.variants.back().llcScale;
+    const double canneal_relief =
+        1.0 - findProfile("canneal").variants.back().llcScale;
+    EXPECT_GT(snp_relief, 0.6);
+    EXPECT_LT(canneal_relief, 0.3);
+}
+
+TEST(CatalogTest, RaytraceIsBursty)
+{
+    EXPECT_EQ(findProfile("raytrace").phases, PhasePattern::Bursty);
+}
+
+TEST(CatalogTest, FindProfileUnknownIsFatal)
+{
+    EXPECT_THROW(findProfile("unknown_app"), pliant::util::FatalError);
+}
+
+TEST(CatalogTest, CatalogNamesRoundTrip)
+{
+    const auto names = catalogNames();
+    EXPECT_EQ(names.size(), 24u);
+    for (const auto &n : names)
+        EXPECT_EQ(findProfile(n).name, n);
+}
+
+TEST(CatalogTest, SuiteNamesPrintable)
+{
+    EXPECT_EQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_EQ(suiteName(Suite::Splash2), "SPLASH-2");
+    EXPECT_EQ(suiteName(Suite::MineBench), "MineBench");
+    EXPECT_EQ(suiteName(Suite::BioPerf), "BioPerf");
+}
+
+TEST(CatalogTest, VariantAccessorBoundsChecked)
+{
+    const AppProfile &p = findProfile("canneal");
+    EXPECT_THROW(p.variant(-1), pliant::util::PanicError);
+    EXPECT_THROW(p.variant(99), pliant::util::PanicError);
+    EXPECT_EQ(p.variant(0).index, 0);
+}
+
+TEST(CatalogTest, NominalExecTimesAreTensOfSeconds)
+{
+    // Fig. 4 timelines run 20-60 s.
+    for (const auto &p : catalog()) {
+        EXPECT_GE(p.nominalExecSeconds, 20.0) << p.name;
+        EXPECT_LE(p.nominalExecSeconds, 60.0) << p.name;
+    }
+}
+
+/** Every app exerts sane pressure at precise mode. */
+class CatalogPressureTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CatalogPressureTest, PressureWithinPlatformEnvelope)
+{
+    const AppProfile &p = findProfile(GetParam());
+    EXPECT_GT(p.precisePressure.compute, 0.0);
+    EXPECT_LE(p.precisePressure.compute, 1.0);
+    EXPECT_GT(p.precisePressure.llcMb, 0.0);
+    EXPECT_LE(p.precisePressure.llcMb, 55.0);
+    EXPECT_GT(p.precisePressure.membwGbs, 0.0);
+    EXPECT_LE(p.precisePressure.membwGbs, 76.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CatalogPressureTest,
+                         ::testing::ValuesIn(catalogNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the ApproxTask runtime accounting: progress, variant
+ * switching, core moves, pressure, and quality bookkeeping.
+ */
+
+#include "approx/task.hh"
+
+#include <gtest/gtest.h>
+
+#include "approx/profile.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant::approx;
+namespace sim = pliant::sim;
+
+AppProfile
+testProfile()
+{
+    AppProfile p;
+    p.name = "testapp";
+    p.nominalExecSeconds = 10.0;
+    p.precisePressure = {0.8, 20.0, 10.0, 0.0};
+    p.dynrecOverhead = 0.0; // keep the math exact for tests
+
+    ApproxVariant precise;
+    precise.index = 0;
+    precise.label = "precise";
+    p.variants.push_back(precise);
+
+    ApproxVariant half;
+    half.index = 1;
+    half.label = "half";
+    half.execTimeNorm = 0.5;
+    half.inaccuracy = 0.04;
+    half.llcScale = 0.6;
+    half.membwScale = 0.5;
+    half.computeScale = 0.9;
+    p.variants.push_back(half);
+    return p;
+}
+
+TEST(ApproxTaskTest, PreciseRunFinishesAtNominalTime)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    for (int i = 0; i < 999; ++i)
+        task.tick(10 * sim::kMillisecond);
+    EXPECT_FALSE(task.finished());
+    task.tick(10 * sim::kMillisecond);
+    EXPECT_TRUE(task.finished());
+    EXPECT_NEAR(task.relativeExecTime(), 1.0, 0.01);
+}
+
+TEST(ApproxTaskTest, ApproximateVariantFinishesFaster)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    task.switchVariant(1); // 0.5x time
+    int ticks = 0;
+    while (!task.finished() && ticks < 2000) {
+        task.tick(10 * sim::kMillisecond);
+        ++ticks;
+    }
+    // 10 s nominal at 0.5x = 5 s = 500 ticks (plus the 50 us switch
+    // stall, absorbed within one tick).
+    EXPECT_NEAR(ticks, 500, 2);
+    EXPECT_NEAR(task.relativeExecTime(), 0.5, 0.01);
+}
+
+TEST(ApproxTaskTest, FewerCoresSlowProgress)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    EXPECT_TRUE(task.yieldCore());
+    EXPECT_EQ(task.cores(), 3);
+    int ticks = 0;
+    while (!task.finished() && ticks < 1e5) {
+        task.tick(10 * sim::kMillisecond);
+        ++ticks;
+    }
+    // 3 of 4 cores: 4/3 of nominal time.
+    EXPECT_NEAR(ticks, 1333, 5);
+}
+
+TEST(ApproxTaskTest, YieldNeverDropsBelowOneCore)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 2, 1);
+    EXPECT_TRUE(task.yieldCore());
+    EXPECT_FALSE(task.yieldCore()); // already at 1
+    EXPECT_EQ(task.cores(), 1);
+}
+
+TEST(ApproxTaskTest, ReclaimNeverExceedsFairShare)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    EXPECT_FALSE(task.reclaimCore()); // already at fair share
+    task.yieldCore();
+    EXPECT_TRUE(task.reclaimCore());
+    EXPECT_EQ(task.cores(), 4);
+}
+
+TEST(ApproxTaskTest, SetCoresClamps)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    task.setCores(99);
+    EXPECT_EQ(task.cores(), 4);
+    task.setCores(-3);
+    EXPECT_EQ(task.cores(), 1);
+}
+
+TEST(ApproxTaskTest, InaccuracyIsWorkWeighted)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    // Run half the work precise, half at the approximate variant.
+    while (task.progressFraction() < 0.5)
+        task.tick(10 * sim::kMillisecond);
+    task.switchVariant(1);
+    while (!task.finished())
+        task.tick(10 * sim::kMillisecond);
+    // Half the work at inaccuracy 0, half at 0.04 -> ~0.02.
+    EXPECT_NEAR(task.inaccuracy(), 0.02, 0.002);
+}
+
+TEST(ApproxTaskTest, FullyApproximateRunHasVariantInaccuracy)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    task.switchVariant(1);
+    while (!task.finished())
+        task.tick(10 * sim::kMillisecond);
+    EXPECT_NEAR(task.inaccuracy(), 0.04, 1e-6);
+}
+
+TEST(ApproxTaskTest, SwitchCountsAndIdempotence)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    task.switchVariant(1);
+    task.switchVariant(1); // no-op
+    task.switchVariant(0);
+    EXPECT_EQ(task.switchCount(), 2);
+}
+
+TEST(ApproxTaskTest, SwitchOutOfRangePanics)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    EXPECT_THROW(task.switchVariant(5), pliant::util::PanicError);
+    EXPECT_THROW(task.switchVariant(-1), pliant::util::PanicError);
+}
+
+TEST(ApproxTaskTest, PressureShrinksWithApproximation)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    const PressureVector precise = task.currentPressure();
+    task.switchVariant(1);
+    const PressureVector approx = task.currentPressure();
+    EXPECT_LT(approx.llcMb, precise.llcMb);
+    EXPECT_LT(approx.membwGbs, precise.membwGbs);
+    EXPECT_LE(approx.compute, precise.compute);
+}
+
+TEST(ApproxTaskTest, PressureShrinksWithFewerCores)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    const PressureVector full = task.currentPressure();
+    task.yieldCore();
+    task.yieldCore();
+    const PressureVector half = task.currentPressure();
+    EXPECT_LT(half.compute, full.compute);
+    EXPECT_LT(half.membwGbs, full.membwGbs);
+    // The data set footprint does not shrink with thread count.
+    EXPECT_DOUBLE_EQ(half.llcMb, full.llcMb);
+}
+
+TEST(ApproxTaskTest, FinishedTaskExertsNoPressure)
+{
+    const AppProfile p = testProfile();
+    ApproxTask task(p, 4, 1);
+    task.switchVariant(1);
+    while (!task.finished())
+        task.tick(10 * sim::kMillisecond);
+    const PressureVector pv = task.currentPressure();
+    EXPECT_EQ(pv.compute, 0.0);
+    EXPECT_EQ(pv.llcMb, 0.0);
+}
+
+TEST(ApproxTaskTest, DynrecOverheadExtendsExecution)
+{
+    AppProfile p = testProfile();
+    p.dynrecOverhead = 0.10;
+    ApproxTask task(p, 4, 1);
+    int ticks = 0;
+    while (!task.finished() && ticks < 1e5) {
+        task.tick(10 * sim::kMillisecond);
+        ++ticks;
+    }
+    EXPECT_NEAR(ticks, 1100, 5); // 10% slower than 1000 ticks
+}
+
+TEST(ApproxTaskTest, RequiresPositiveFairCores)
+{
+    const AppProfile p = testProfile();
+    EXPECT_THROW(ApproxTask(p, 0, 1), pliant::util::FatalError);
+}
+
+TEST(ApproxTaskTest, BurstyPhasesModulatePressure)
+{
+    AppProfile p = testProfile();
+    p.phases = PhasePattern::Bursty;
+    ApproxTask task(p, 4, 1);
+    // Sample pressure at several progress points; bursty apps must
+    // show variation.
+    double lo = 1e18, hi = 0;
+    while (!task.finished()) {
+        task.tick(100 * sim::kMillisecond);
+        const double llc = task.currentPressure().llcMb;
+        if (llc > 0) {
+            lo = std::min(lo, llc);
+            hi = std::max(hi, llc);
+        }
+    }
+    EXPECT_GT(hi, lo * 1.5);
+}
+
+TEST(ApproxTaskTest, SyncElisionNoiseOnlyWithAggressiveVariants)
+{
+    AppProfile p = testProfile();
+    p.syncElisionNoise = 0.02;
+    {
+        ApproxTask task(p, 4, 1);
+        while (!task.finished())
+            task.tick(10 * sim::kMillisecond);
+        // Precise-only run: no elision noise.
+        EXPECT_DOUBLE_EQ(task.inaccuracy(), 0.0);
+    }
+    {
+        ApproxTask task(p, 4, 1);
+        task.switchVariant(1); // upper half (only variant)
+        while (!task.finished())
+            task.tick(10 * sim::kMillisecond);
+        EXPECT_GT(task.inaccuracy(), 0.04);
+    }
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for variant descriptors and their validation rules.
+ */
+
+#include "approx/variant.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pliant::approx;
+
+ApproxVariant
+makeVariant(int idx, double time, double inacc)
+{
+    ApproxVariant v;
+    v.index = idx;
+    v.label = idx == 0 ? "precise" : "v" + std::to_string(idx);
+    v.execTimeNorm = time;
+    v.inaccuracy = inacc;
+    return v;
+}
+
+TEST(PressureVectorTest, ScaledMultipliesChannels)
+{
+    PressureVector p{0.8, 20.0, 10.0, 4.0};
+    const PressureVector s = p.scaled(0.5, 0.25, 0.1, 1.0);
+    EXPECT_DOUBLE_EQ(s.compute, 0.4);
+    EXPECT_DOUBLE_EQ(s.llcMb, 5.0);
+    EXPECT_DOUBLE_EQ(s.membwGbs, 1.0);
+    EXPECT_DOUBLE_EQ(s.ioMbs, 4.0);
+}
+
+TEST(ValidateVariantsTest, EmptyListRejected)
+{
+    EXPECT_FALSE(validateVariants({}).empty());
+}
+
+TEST(ValidateVariantsTest, ValidListAccepted)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(1, 0.8, 0.01),
+                                  makeVariant(2, 0.6, 0.03)};
+    EXPECT_EQ(validateVariants(vs), "");
+}
+
+TEST(ValidateVariantsTest, FirstMustBePrecise)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 0.9, 0.0)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+    vs = {makeVariant(0, 1.0, 0.02)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ValidateVariantsTest, IndicesMustBeContiguous)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(2, 0.8, 0.01)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ValidateVariantsTest, InaccuracyMustBeMonotone)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(1, 0.8, 0.04),
+                                  makeVariant(2, 0.6, 0.02)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ValidateVariantsTest, ScalesMustBeInUnitInterval)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(1, 0.8, 0.02)};
+    vs[1].llcScale = 1.5;
+    EXPECT_FALSE(validateVariants(vs).empty());
+    vs[1].llcScale = 0.5;
+    vs[1].membwScale = 0.0;
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ValidateVariantsTest, NegativeTimeRejected)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(1, -0.1, 0.02)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ValidateVariantsTest, InaccuracyAboveOneRejected)
+{
+    std::vector<ApproxVariant> vs{makeVariant(0, 1.0, 0.0),
+                                  makeVariant(1, 0.5, 1.2)};
+    EXPECT_FALSE(validateVariants(vs).empty());
+}
+
+TEST(ApproxVariantTest, IsPreciseOnlyForIndexZero)
+{
+    EXPECT_TRUE(makeVariant(0, 1.0, 0.0).isPrecise());
+    EXPECT_FALSE(makeVariant(1, 0.9, 0.01).isPrecise());
+}
+
+} // namespace

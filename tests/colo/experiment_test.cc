@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests for the colocation experiment harness.
+ */
+
+#include "colo/experiment.hh"
+
+#include <gtest/gtest.h>
+
+#include "approx/profile.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant;
+using namespace pliant::colo;
+
+TEST(FairShareTest, SplitsUsableCores)
+{
+    server::ServerSpec spec; // 16 usable
+    EXPECT_EQ(ColocationExperiment::fairShare(spec, 1), 8);
+    EXPECT_EQ(ColocationExperiment::fairShare(spec, 2), 5);
+    EXPECT_EQ(ColocationExperiment::fairShare(spec, 3), 4);
+}
+
+TEST(ExperimentTest, RequiresAtLeastOneApp)
+{
+    ColoConfig cfg;
+    cfg.apps = {};
+    EXPECT_THROW(ColocationExperiment exp(cfg), util::FatalError);
+}
+
+TEST(ExperimentTest, RunsToTaskCompletion)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::Memcached, {"raytrace"},
+        core::RuntimeKind::Pliant, 1);
+    ASSERT_EQ(r.apps.size(), 1u);
+    EXPECT_TRUE(r.apps[0].finished);
+    EXPECT_GT(r.apps[0].relativeExecTime, 0.0);
+    EXPECT_FALSE(r.timeline.empty());
+}
+
+TEST(ExperimentTest, DeterministicForSeed)
+{
+    const ColoResult a = runColocation(
+        services::ServiceKind::Nginx, {"canneal"},
+        core::RuntimeKind::Pliant, 42);
+    const ColoResult b = runColocation(
+        services::ServiceKind::Nginx, {"canneal"},
+        core::RuntimeKind::Pliant, 42);
+    EXPECT_DOUBLE_EQ(a.overallP99Us, b.overallP99Us);
+    EXPECT_DOUBLE_EQ(a.apps[0].inaccuracy, b.apps[0].inaccuracy);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.timeline[i].p99Us, b.timeline[i].p99Us);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer)
+{
+    const ColoResult a = runColocation(
+        services::ServiceKind::Nginx, {"canneal"},
+        core::RuntimeKind::Pliant, 1);
+    const ColoResult b = runColocation(
+        services::ServiceKind::Nginx, {"canneal"},
+        core::RuntimeKind::Pliant, 2);
+    EXPECT_NE(a.overallP99Us, b.overallP99Us);
+}
+
+TEST(ExperimentTest, PreciseBaselineNeverActuates)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::Memcached, {"canneal"},
+        core::RuntimeKind::Precise, 3);
+    EXPECT_EQ(r.runtime, "precise");
+    for (const auto &tp : r.timeline) {
+        EXPECT_EQ(tp.variantOf[0], 0);
+        EXPECT_EQ(tp.reclaimed[0], 0);
+    }
+    EXPECT_EQ(r.apps[0].switches, 0);
+    EXPECT_DOUBLE_EQ(r.apps[0].inaccuracy, 0.0);
+    // The baseline runs natively: no instrumentation overhead.
+    EXPECT_DOUBLE_EQ(r.apps[0].dynrecOverhead, 0.0);
+}
+
+TEST(ExperimentTest, PliantCarriesDynrecOverhead)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::Memcached, {"canneal"},
+        core::RuntimeKind::Pliant, 3);
+    EXPECT_GT(r.apps[0].dynrecOverhead, 0.0);
+}
+
+TEST(ExperimentTest, TimelineInvariants)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::Nginx, {"canneal", "bayesian"},
+        core::RuntimeKind::Pliant, 7);
+    const int most_canneal =
+        approx::findProfile("canneal").mostApproxIndex();
+    const int most_bayes =
+        approx::findProfile("bayesian").mostApproxIndex();
+    for (const auto &tp : r.timeline) {
+        ASSERT_EQ(tp.variantOf.size(), 2u);
+        EXPECT_GE(tp.variantOf[0], 0);
+        EXPECT_LE(tp.variantOf[0], most_canneal);
+        EXPECT_GE(tp.variantOf[1], 0);
+        EXPECT_LE(tp.variantOf[1], most_bayes);
+        EXPECT_GE(tp.reclaimed[0], 0);
+        EXPECT_GE(tp.reclaimed[1], 0);
+        EXPECT_GT(tp.p99Us, 0.0);
+    }
+}
+
+TEST(ExperimentTest, MultiAppUsesSmallerFairShare)
+{
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::MongoDb;
+    cfg.apps = {"scalparc", "fasta", "hmmer"};
+    cfg.seed = 4;
+    ColocationExperiment exp(cfg);
+    const ColoResult r = exp.run();
+    EXPECT_EQ(r.apps.size(), 3u);
+    for (const auto &a : r.apps)
+        EXPECT_TRUE(a.finished);
+}
+
+TEST(ExperimentTest, QosMetFractionWithinUnit)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::MongoDb, {"snp"},
+        core::RuntimeKind::Pliant, 5);
+    EXPECT_GE(r.qosMetFraction, 0.0);
+    EXPECT_LE(r.qosMetFraction, 1.0);
+}
+
+TEST(ExperimentTest, InaccuracyWithinCatalogBudget)
+{
+    // Work-weighted inaccuracy can never exceed the most-approximate
+    // variant's inaccuracy plus the sync-elision noise.
+    const ColoResult r = runColocation(
+        services::ServiceKind::Memcached, {"canneal"},
+        core::RuntimeKind::Pliant, 6);
+    const auto &prof = approx::findProfile("canneal");
+    const double bound =
+        prof.variants.back().inaccuracy + prof.syncElisionNoise + 1e-9;
+    EXPECT_LE(r.apps[0].inaccuracy, bound);
+}
+
+TEST(ExperimentTest, ApproximationAloneFlagConsistent)
+{
+    const ColoResult r = runColocation(
+        services::ServiceKind::Memcached, {"snp"},
+        core::RuntimeKind::Pliant, 5);
+    EXPECT_EQ(r.approximationAloneSufficed,
+              r.maxCoresReclaimedTotal == 0);
+}
+
+TEST(ExperimentTest, MaxDurationCapsRunaway)
+{
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Memcached;
+    cfg.apps = {"plsa"};
+    cfg.maxDuration = 3 * sim::kSecond;
+    ColocationExperiment exp(cfg);
+    const ColoResult r = exp.run();
+    EXPECT_LE(r.timeline.size(), 3u);
+    EXPECT_FALSE(r.apps[0].finished);
+}
+
+TEST(ExperimentTest, DecisionIntervalControlsTimelineDensity)
+{
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Memcached;
+    cfg.apps = {"raytrace"};
+    cfg.decisionInterval = 2 * sim::kSecond;
+    cfg.seed = 8;
+    ColocationExperiment exp(cfg);
+    const ColoResult coarse = exp.run();
+
+    ColoConfig cfg2 = cfg;
+    cfg2.decisionInterval = sim::kSecond;
+    ColocationExperiment exp2(cfg2);
+    const ColoResult fine = exp2.run();
+    // Same wall time, double the decision points (within rounding).
+    EXPECT_GT(fine.timeline.size(), coarse.timeline.size());
+}
+
+TEST(ExperimentTest, ImpactAwareArbiterRuns)
+{
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Nginx;
+    cfg.apps = {"canneal", "snp"};
+    cfg.arbiter = core::ArbiterKind::ImpactAware;
+    cfg.seed = 9;
+    ColocationExperiment exp(cfg);
+    const ColoResult r = exp.run();
+    EXPECT_EQ(r.apps.size(), 2u);
+    // Impact-aware should prefer escalating SNP (more relief, similar
+    // cost), so SNP's switches should be at least canneal's.
+    EXPECT_TRUE(r.apps[0].finished);
+    EXPECT_TRUE(r.apps[1].finished);
+}
+
+} // namespace

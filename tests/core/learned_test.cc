@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the online-learned variant selection runtime.
+ */
+
+#include "core/learned.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace pliant::core;
+
+/**
+ * Synthetic environment: latency is a known decreasing function of
+ * the single task's variant, latency(v) = base - step * v (+ noise).
+ */
+class SyntheticActuator : public Actuator
+{
+  public:
+    explicit SyntheticActuator(int most_approx = 6)
+        : mostApprox(most_approx)
+    {
+    }
+
+    int taskCount() const override { return 1; }
+    bool taskFinished(int) const override { return finished; }
+    int variantOf(int) const override { return variant; }
+    int mostApproxOf(int) const override { return mostApprox; }
+    void switchVariant(int, int v) override { variant = v; }
+
+    bool
+    reclaimCore(int) override
+    {
+        if (cores <= 1)
+            return false;
+        --cores;
+        return true;
+    }
+
+    bool
+    returnCore(int) override
+    {
+        if (cores >= 8)
+            return false;
+        ++cores;
+        return true;
+    }
+
+    int reclaimedFrom(int) const override { return 8 - cores; }
+
+    /** Latency the environment produces at the current state. */
+    double
+    latency() const
+    {
+        // Each variant buys `step` us; each reclaimed core buys 20 us.
+        return base - step * variant - 20.0 * (8 - cores);
+    }
+
+    int variant = 0;
+    int cores = 8;
+    int mostApprox;
+    bool finished = false;
+    double base = 330.0;
+    double step = 30.0;
+};
+
+LearnedParams
+fastParams()
+{
+    LearnedParams p;
+    p.revertHysteresis = 1;
+    return p;
+}
+
+TEST(LearnedRuntimeTest, RejectsBadAlpha)
+{
+    SyntheticActuator env;
+    LearnedParams p;
+    p.alpha = 0.0;
+    EXPECT_THROW(LearnedRuntime r(env, p, 1),
+                 pliant::util::FatalError);
+}
+
+TEST(LearnedRuntimeTest, EscalatesOnViolation)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    const Decision d = rt.onInterval(env.latency(), 200.0);
+    EXPECT_EQ(d.kind, Decision::Kind::SwitchToMost);
+    EXPECT_GT(env.variant, 0);
+}
+
+TEST(LearnedRuntimeTest, ConvergesToMinimalAdequateVariant)
+{
+    // latency(v) = 330 - 30v; QoS 200: v = 4 still violates
+    // (210 us), v = 5 gives 180 us <= the 10%-margin target. The
+    // learner should settle at v = 5, not the most approximate v = 6.
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 60; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    EXPECT_EQ(env.variant, 5);
+    EXPECT_EQ(env.cores, 8); // no cores taken
+}
+
+TEST(LearnedRuntimeTest, StableAfterConvergence)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 60; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    const int settled = env.variant;
+    int switches = 0;
+    for (int i = 0; i < 40; ++i) {
+        const int before = env.variant;
+        rt.onInterval(env.latency(), 200.0);
+        switches += env.variant != before ? 1 : 0;
+    }
+    EXPECT_EQ(env.variant, settled);
+    EXPECT_LE(switches, 2);
+}
+
+TEST(LearnedRuntimeTest, LearnsEstimatesForVisitedVariants)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 30; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    EXPECT_TRUE(rt.explored(0, 0));
+    // The estimate of a visited variant reflects the environment.
+    for (int v = 0; v <= env.mostApprox; ++v) {
+        if (!rt.explored(0, v))
+            continue;
+        EXPECT_NEAR(rt.estimate(0, v), 330.0 - 30.0 * v, 35.0)
+            << "variant " << v;
+    }
+}
+
+TEST(LearnedRuntimeTest, ReclaimsCoresWhenApproximationExhausted)
+{
+    // Make every variant insufficient: need cores.
+    SyntheticActuator env(3);
+    env.base = 400.0;
+    env.step = 10.0; // most approx still 370 > 200
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 30; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    EXPECT_EQ(env.variant, env.mostApprox);
+    EXPECT_LT(env.cores, 8);
+}
+
+TEST(LearnedRuntimeTest, ReturnsCoresOnSlackBeforeStepDown)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    env.variant = 6;
+    env.cores = 6;
+    // Big slack: expect a core back first.
+    const Decision d = rt.onInterval(env.latency(), 400.0);
+    EXPECT_EQ(d.kind, Decision::Kind::ReturnCore);
+    EXPECT_EQ(env.cores, 7);
+}
+
+TEST(LearnedRuntimeTest, DoesNotStepDownIntoKnownBadVariant)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 7);
+    // Converge first (v=5 known-good, v=4 known-bad at 200 QoS).
+    for (int i = 0; i < 60; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    ASSERT_EQ(env.variant, 5);
+    // Offer slack barely above threshold at the same QoS: the learner
+    // knows v=4 gives 210 > the 180 target and must hold.
+    for (int i = 0; i < 10; ++i)
+        rt.onInterval(170.0, 200.0);
+    EXPECT_EQ(env.variant, 5);
+}
+
+TEST(LearnedRuntimeTest, SkipsFinishedTasks)
+{
+    SyntheticActuator env;
+    env.finished = true;
+    LearnedRuntime rt(env, fastParams(), 1);
+    const Decision d = rt.onInterval(500.0, 200.0);
+    EXPECT_EQ(d.kind, Decision::Kind::None);
+    EXPECT_EQ(env.variant, 0);
+}
+
+TEST(LearnedRuntimeTest, CountsIntervals)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 5; ++i)
+        rt.onInterval(100.0, 200.0);
+    EXPECT_EQ(rt.intervals(), 5);
+}
+
+/** The learner works across different environment difficulty levels. */
+class LearnedSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LearnedSweepTest, SettlesAtMinimalAdequateVariant)
+{
+    // Required variant index = GetParam().
+    const int required = GetParam();
+    SyntheticActuator env(8);
+    env.base = 180.0 / (1.0) + 30.0 * required; // latency(required)=180
+    env.step = 30.0;
+    LearnedRuntime rt(env, fastParams(), 13);
+    for (int i = 0; i < 80; ++i)
+        rt.onInterval(env.latency(), 200.0);
+    EXPECT_EQ(env.variant, required);
+}
+
+INSTANTIATE_TEST_SUITE_P(RequiredVariants, LearnedSweepTest,
+                         ::testing::Values(1, 3, 5, 7));
+
+} // namespace

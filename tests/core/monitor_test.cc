@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the client-side performance monitor.
+ */
+
+#include "core/monitor.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace {
+
+using pliant::core::IntervalReport;
+using pliant::core::PerformanceMonitor;
+
+TEST(MonitorTest, EmptyIntervalReportsZero)
+{
+    PerformanceMonitor m;
+    const IntervalReport r = m.closeInterval();
+    EXPECT_EQ(r.samples, 0u);
+    EXPECT_EQ(r.p99Us, 0.0);
+}
+
+TEST(MonitorTest, KnownDistributionP99)
+{
+    PerformanceMonitor m(8192, 1);
+    // 1..1000 microseconds uniformly.
+    for (int i = 1; i <= 1000; ++i)
+        m.observe(static_cast<double>(i));
+    const IntervalReport r = m.closeInterval();
+    EXPECT_EQ(r.samples, 1000u);
+    EXPECT_NEAR(r.p99Us, 990.0, 2.0);
+    EXPECT_NEAR(r.p50Us, 500.0, 2.0);
+    EXPECT_NEAR(r.meanUs, 500.5, 1e-9);
+}
+
+TEST(MonitorTest, IntervalResetsWindow)
+{
+    PerformanceMonitor m;
+    m.observe(100.0);
+    m.closeInterval();
+    const IntervalReport r = m.closeInterval();
+    EXPECT_EQ(r.samples, 0u);
+}
+
+TEST(MonitorTest, AdaptiveSamplingBoundsMemory)
+{
+    PerformanceMonitor m(256, 2);
+    for (int i = 0; i < 100000; ++i)
+        m.observe(static_cast<double>(i % 1000));
+    EXPECT_EQ(m.windowSize(), 256u);
+    EXPECT_EQ(m.offered(), 100000u);
+}
+
+TEST(MonitorTest, SubsampledP99StillAccurate)
+{
+    PerformanceMonitor m(2048, 3);
+    pliant::util::Rng rng(5);
+    for (int i = 0; i < 200000; ++i)
+        m.observe(rng.lognormalMeanCv(100.0, 0.8));
+    const IntervalReport r = m.closeInterval();
+    // Lognormal(mean 100, cv 0.8): p99 ~ 380. Allow generous noise
+    // from the 2k-sample reservoir.
+    EXPECT_NEAR(r.p99Us, 380.0, 80.0);
+}
+
+TEST(MonitorTest, BatchObserve)
+{
+    PerformanceMonitor m;
+    m.observe(std::vector<double>{1.0, 2.0, 3.0});
+    const IntervalReport r = m.closeInterval();
+    EXPECT_EQ(r.samples, 3u);
+}
+
+TEST(MonitorTest, LongRunP99SurvivesIntervals)
+{
+    PerformanceMonitor m(512, 4);
+    for (int interval = 0; interval < 20; ++interval) {
+        for (int i = 1; i <= 1000; ++i)
+            m.observe(static_cast<double>(i));
+        m.closeInterval();
+    }
+    EXPECT_NEAR(m.longRunP99(), 990.0, 25.0);
+}
+
+TEST(MonitorTest, DeterministicForSeed)
+{
+    PerformanceMonitor a(128, 9), b(128, 9);
+    for (int i = 0; i < 10000; ++i) {
+        a.observe(static_cast<double>(i % 777));
+        b.observe(static_cast<double>(i % 777));
+    }
+    EXPECT_DOUBLE_EQ(a.closeInterval().p99Us, b.closeInterval().p99Us);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Kernel-specific behavioural tests: the properties that make each
+ * kernel a faithful stand-in for its benchmark-suite counterpart.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/annealing.hh"
+#include "kernels/bio.hh"
+#include "kernels/clustering.hh"
+#include "kernels/ml.hh"
+#include "kernels/physics.hh"
+
+namespace {
+
+using namespace pliant::kernels;
+
+TEST(KmeansTest, PerforationPreservesQualityOnSeparatedBlobs)
+{
+    KmeansKernel k(42);
+    k.run(Knobs{});
+    // Well-separated blobs: moderate perforation converges to the
+    // same clustering (the effect the paper notes for canneal-style
+    // wasted iterations).
+    const KernelResult r = k.run(Knobs{2, Precision::Double, false});
+    EXPECT_LT(r.inaccuracy, 0.05);
+}
+
+TEST(KmeansTest, FloatPrecisionCostsAlmostNothing)
+{
+    KmeansKernel k(42);
+    k.run(Knobs{});
+    const KernelResult r = k.run(Knobs{1, Precision::Float, false});
+    EXPECT_LT(r.inaccuracy, 0.01);
+}
+
+TEST(FuzzyKmeansTest, ObjectiveIsPositive)
+{
+    FuzzyKmeansKernel k(42);
+    EXPECT_GT(k.run(Knobs{}).outputMetric, 0.0);
+}
+
+TEST(BirchTest, HeavierPerforationIsWorse)
+{
+    BirchKernel k(42);
+    k.run(Knobs{});
+    const double i2 = k.run(Knobs{2, Precision::Double, false}).inaccuracy;
+    const double i8 = k.run(Knobs{8, Precision::Double, false}).inaccuracy;
+    EXPECT_LE(i2, i8 + 1e-9);
+}
+
+TEST(StreamclusterTest, CostGrowsWithPerforation)
+{
+    StreamclusterKernel k(42);
+    k.run(Knobs{});
+    const double c1 = k.run(Knobs{}).outputMetric;
+    const double c8 = k.run(Knobs{8, Precision::Double, false}).outputMetric;
+    EXPECT_GE(c8, c1);
+}
+
+TEST(CannealTest, WireLengthImprovesOverRandomPlacement)
+{
+    // The annealer must actually optimize: a tiny run (high remaining
+    // temperature) should end with higher cost than the full run.
+    AnnealingConfig small;
+    small.temperatureSteps = 2;
+    small.movesPerStep = 256;
+    CannealKernel quick(42, small);
+    CannealKernel full(42);
+    const double quick_cost = quick.run(Knobs{}).outputMetric;
+    const double full_cost = full.run(Knobs{}).outputMetric;
+    EXPECT_LT(full_cost, quick_cost);
+}
+
+TEST(CannealTest, BetterApproxPlacementHasNoQualityLoss)
+{
+    CannealKernel k(42);
+    k.run(Knobs{});
+    // Perforated annealing can occasionally find an equal-or-better
+    // placement; inaccuracy must then be 0, never negative.
+    for (int p : {2, 3}) {
+        const double inacc =
+            k.run(Knobs{p, Precision::Double, false}).inaccuracy;
+        EXPECT_GE(inacc, 0.0);
+    }
+}
+
+TEST(CannealTest, SyncElisionIntroducesQualityNoise)
+{
+    CannealKernel k(42);
+    k.run(Knobs{});
+    const KernelResult racy = k.run(Knobs{4, Precision::Double, true});
+    // Stale-cost swaps must not corrupt the result beyond the metric
+    // range; they may or may not lose quality on a given seed.
+    EXPECT_GE(racy.outputMetric, 0.0);
+    EXPECT_LE(racy.inaccuracy, 1.0);
+}
+
+TEST(WaterNbodyTest, PreciseIntegrationHasSmallDrift)
+{
+    WaterNbodyKernel k(42);
+    const KernelResult r = k.run(Knobs{});
+    // outputMetric is relative energy drift; a sane dt keeps it small.
+    EXPECT_LT(r.outputMetric, 0.2);
+}
+
+TEST(WaterNbodyTest, PerforationIncreasesDrift)
+{
+    WaterNbodyKernel k(42);
+    k.run(Knobs{});
+    const double d2 = k.run(Knobs{2, Precision::Double, false}).inaccuracy;
+    const double d6 = k.run(Knobs{6, Precision::Double, false}).inaccuracy;
+    EXPECT_LE(d2, d6 + 0.05);
+    EXPECT_GT(d6, 0.0);
+}
+
+TEST(RaytraceTest, PerforatedImageDiffersModestly)
+{
+    RaytraceKernel k(42);
+    k.run(Knobs{});
+    const double i2 = k.run(Knobs{2, Precision::Double, false}).inaccuracy;
+    const double i4 = k.run(Knobs{4, Precision::Double, false}).inaccuracy;
+    EXPECT_GT(i2, 0.0);
+    EXPECT_LE(i2, i4 + 1e-9);
+    EXPECT_LT(i4, 0.3);
+}
+
+TEST(RaytraceTest, ImageMeanIsStable)
+{
+    RaytraceKernel k(42);
+    const double precise = k.run(Knobs{}).outputMetric;
+    const double approx =
+        k.run(Knobs{3, Precision::Double, false}).outputMetric;
+    // Mean intensity barely changes even when pixels are interpolated.
+    EXPECT_NEAR(approx / precise, 1.0, 0.15);
+}
+
+TEST(SnpTest, TopAssociationsSurviveModeratePerforation)
+{
+    SnpKernel k(42);
+    k.run(Knobs{});
+    // Strong causal SNPs keep their top-K slots at 1/2 subsampling.
+    const double i2 = k.run(Knobs{2, Precision::Double, false}).inaccuracy;
+    EXPECT_LT(i2, 0.3);
+}
+
+TEST(SnpTest, ElidingContinuityCorrectionIsCheap)
+{
+    SnpKernel k(42);
+    k.run(Knobs{});
+    const double inacc =
+        k.run(Knobs{1, Precision::Double, true}).inaccuracy;
+    EXPECT_LT(inacc, 0.25);
+}
+
+TEST(SmithWatermanTest, BandingOnlyLowersScores)
+{
+    SmithWatermanKernel k(42);
+    const double full = k.run(Knobs{}).outputMetric;
+    for (int p : {2, 4, 8}) {
+        const double banded =
+            k.run(Knobs{p, Precision::Double, false}).outputMetric;
+        EXPECT_LE(banded, full + 1e-9) << "band p=" << p;
+    }
+}
+
+TEST(SmithWatermanTest, NarrowerBandIsFasterAndWorse)
+{
+    SmithWatermanKernel k(42);
+    k.run(Knobs{});
+    const KernelResult wide = k.run(Knobs{2, Precision::Double, false});
+    const KernelResult narrow =
+        k.run(Knobs{12, Precision::Double, false});
+    EXPECT_GE(narrow.inaccuracy, wide.inaccuracy - 1e-9);
+}
+
+TEST(ViterbiTest, BeamPruningOnlyLowersLogProb)
+{
+    ViterbiKernel k(42);
+    const double full = k.run(Knobs{}).outputMetric;
+    const double pruned =
+        k.run(Knobs{6, Precision::Double, false}).outputMetric;
+    EXPECT_LE(pruned, full + 1e-9);
+}
+
+TEST(NaiveBayesTest, PreciseAccuracyIsHigh)
+{
+    NaiveBayesKernel k(42);
+    // Well-separated Gaussians: the classifier should be clearly
+    // better than chance (1/6).
+    EXPECT_GT(k.run(Knobs{}).outputMetric, 0.5);
+}
+
+TEST(NaiveBayesTest, VarianceElisionLosesSomeAccuracy)
+{
+    NaiveBayesKernel k(42);
+    k.run(Knobs{});
+    const KernelResult elided =
+        k.run(Knobs{1, Precision::Double, true});
+    EXPECT_GE(elided.inaccuracy, 0.0);
+    EXPECT_LT(elided.inaccuracy, 0.5);
+}
+
+TEST(PlsaTest, EmIncreasesLikelihoodOverInit)
+{
+    PlsaConfig quick;
+    quick.iterations = 2;
+    PlsaKernel two(42, quick);
+    PlsaKernel full(42);
+    // More EM iterations -> higher (less negative) log-likelihood.
+    EXPECT_GT(full.run(Knobs{}).outputMetric,
+              two.run(Knobs{}).outputMetric);
+}
+
+TEST(PlsaTest, PerforationShortfallIsGraded)
+{
+    PlsaKernel k(42);
+    k.run(Knobs{});
+    const double i2 = k.run(Knobs{2, Precision::Double, false}).inaccuracy;
+    const double i8 = k.run(Knobs{8, Precision::Double, false}).inaccuracy;
+    EXPECT_LE(i2, i8 + 1e-9);
+    EXPECT_LT(i8, 0.5);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-kernel contract tests: every registered kernel must satisfy
+ * the ApproxKernel interface invariants the DSE and runtime rely on.
+ */
+
+#include "kernels/kernel.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant::kernels;
+
+TEST(KnobsTest, DefaultIsPrecise)
+{
+    Knobs k;
+    EXPECT_TRUE(k.isPrecise());
+    EXPECT_EQ(k.describe(), "precise");
+}
+
+TEST(KnobsTest, DescribeCombinations)
+{
+    EXPECT_EQ((Knobs{4, Precision::Double, false}).describe(), "p4");
+    EXPECT_EQ((Knobs{1, Precision::Float, false}).describe(), "float");
+    EXPECT_EQ((Knobs{1, Precision::Double, true}).describe(), "nosync");
+    EXPECT_EQ((Knobs{2, Precision::Float, true}).describe(),
+              "p2+float+nosync");
+}
+
+TEST(KnobsTest, Equality)
+{
+    EXPECT_EQ((Knobs{2, Precision::Float, false}),
+              (Knobs{2, Precision::Float, false}));
+    EXPECT_NE((Knobs{2, Precision::Float, false}),
+              (Knobs{2, Precision::Double, false}));
+}
+
+TEST(RegistryTest, HasFifteenKernels)
+{
+    EXPECT_EQ(kernelRegistry().size(), 15u);
+}
+
+TEST(RegistryTest, MakeKernelByName)
+{
+    auto k = makeKernel("kmeans", 1);
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->name(), "kmeans");
+}
+
+TEST(RegistryTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeKernel("no_such_kernel"), pliant::util::FatalError);
+}
+
+TEST(RegistryTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &e : kernelRegistry())
+        EXPECT_TRUE(names.insert(e.name).second)
+            << "duplicate kernel name " << e.name;
+}
+
+/** Per-kernel contract checks, parameterized over the registry. */
+class KernelContractTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelContractTest, NameMatchesRegistryEntry)
+{
+    auto k = makeKernel(GetParam(), 7);
+    EXPECT_EQ(k->name(), GetParam());
+}
+
+TEST_P(KernelContractTest, PreciseRunHasZeroInaccuracy)
+{
+    auto k = makeKernel(GetParam(), 7);
+    const KernelResult r = k->run(Knobs{});
+    EXPECT_EQ(r.inaccuracy, 0.0);
+    EXPECT_GT(r.elapsedMs, 0.0);
+}
+
+TEST_P(KernelContractTest, PreciseOutputIsDeterministic)
+{
+    auto k1 = makeKernel(GetParam(), 7);
+    auto k2 = makeKernel(GetParam(), 7);
+    EXPECT_DOUBLE_EQ(k1->run(Knobs{}).outputMetric,
+                     k2->run(Knobs{}).outputMetric);
+}
+
+TEST_P(KernelContractTest, KnobSpaceStartsPreciseAndIsNonTrivial)
+{
+    auto k = makeKernel(GetParam(), 7);
+    const auto space = k->knobSpace();
+    ASSERT_GE(space.size(), 3u);
+    EXPECT_TRUE(space.front().isPrecise());
+    int precise_count = 0;
+    for (const auto &knobs : space)
+        precise_count += knobs.isPrecise() ? 1 : 0;
+    EXPECT_EQ(precise_count, 1) << "exactly one precise point expected";
+}
+
+TEST_P(KernelContractTest, AllVariantsReportBoundedInaccuracy)
+{
+    auto k = makeKernel(GetParam(), 7);
+    for (const auto &knobs : k->knobSpace()) {
+        const KernelResult r = k->run(knobs);
+        EXPECT_GE(r.inaccuracy, 0.0) << knobs.describe();
+        EXPECT_LE(r.inaccuracy, 1.0) << knobs.describe();
+    }
+}
+
+TEST_P(KernelContractTest, ApproximateRunIsDeterministicGivenSeed)
+{
+    const Knobs knobs{4, Precision::Double, false};
+    auto k1 = makeKernel(GetParam(), 11);
+    auto k2 = makeKernel(GetParam(), 11);
+    EXPECT_DOUBLE_EQ(k1->run(knobs).outputMetric,
+                     k2->run(knobs).outputMetric);
+    EXPECT_DOUBLE_EQ(k1->run(knobs).inaccuracy,
+                     k2->run(knobs).inaccuracy);
+}
+
+TEST_P(KernelContractTest, HeavyPerforationIsFaster)
+{
+    auto k = makeKernel(GetParam(), 7);
+    // Median-of-3 to shield against scheduler noise.
+    auto median_time = [&](const Knobs &knobs) {
+        std::vector<double> t;
+        for (int i = 0; i < 3; ++i)
+            t.push_back(k->run(knobs).elapsedMs);
+        std::sort(t.begin(), t.end());
+        return t[1];
+    };
+    const double precise = median_time(Knobs{});
+    const double perforated =
+        median_time(Knobs{8, Precision::Double, false});
+    EXPECT_LT(perforated, precise)
+        << "p8 should beat precise for " << GetParam();
+}
+
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &e : kernelRegistry())
+        names.push_back(e.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelContractTest,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the synthetic input generators.
+ */
+
+#include "kernels/synthetic.hh"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant::kernels;
+using pliant::util::Rng;
+
+TEST(MakeBlobsTest, ShapesMatchRequest)
+{
+    Rng rng(1);
+    const BlobData b = makeBlobs(rng, 500, 4, 3);
+    EXPECT_EQ(b.points.rows, 500u);
+    EXPECT_EQ(b.points.cols, 4u);
+    EXPECT_EQ(b.labels.size(), 500u);
+    EXPECT_EQ(b.centers.rows, 3u);
+}
+
+TEST(MakeBlobsTest, LabelsWithinRange)
+{
+    Rng rng(1);
+    const BlobData b = makeBlobs(rng, 300, 2, 5);
+    for (int l : b.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 5);
+    }
+}
+
+TEST(MakeBlobsTest, PointsClusterAroundTheirCenters)
+{
+    Rng rng(2);
+    const double spread = 0.5;
+    const BlobData b = makeBlobs(rng, 1000, 3, 4, spread);
+    double total_dev = 0.0;
+    for (std::size_t i = 0; i < b.points.rows; ++i) {
+        const int c = b.labels[i];
+        for (std::size_t d = 0; d < 3; ++d) {
+            const double diff = b.points.at(i, d) -
+                b.centers.at(static_cast<std::size_t>(c), d);
+            total_dev += diff * diff;
+        }
+    }
+    // Mean squared deviation per coordinate should be ~spread^2.
+    const double msd = total_dev / (1000.0 * 3.0);
+    EXPECT_NEAR(msd, spread * spread, 0.05);
+}
+
+TEST(MakeBlobsTest, RejectsDegenerateShapes)
+{
+    Rng rng(1);
+    EXPECT_THROW(makeBlobs(rng, 0, 2, 2), pliant::util::FatalError);
+    EXPECT_THROW(makeBlobs(rng, 10, 0, 2), pliant::util::FatalError);
+    EXPECT_THROW(makeBlobs(rng, 10, 2, 0), pliant::util::FatalError);
+}
+
+TEST(MakeGenotypesTest, ShapesAndRanges)
+{
+    Rng rng(3);
+    const GenotypeData g = makeGenotypes(rng, 200, 100, 5);
+    EXPECT_EQ(g.genotypes.size(), 200u * 100u);
+    EXPECT_EQ(g.phenotype.size(), 200u);
+    EXPECT_EQ(g.causal.size(), 5u);
+    for (auto v : g.genotypes)
+        EXPECT_LE(v, 2);
+    for (auto v : g.phenotype)
+        EXPECT_LE(v, 1);
+}
+
+TEST(MakeGenotypesTest, CausalSnpsAreDistinctAndValid)
+{
+    Rng rng(3);
+    const GenotypeData g = makeGenotypes(rng, 100, 50, 8);
+    std::set<std::size_t> uniq(g.causal.begin(), g.causal.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (std::size_t s : g.causal)
+        EXPECT_LT(s, 50u);
+}
+
+TEST(MakeGenotypesTest, CausalSnpsCorrelateWithPhenotype)
+{
+    Rng rng(4);
+    const GenotypeData g = makeGenotypes(rng, 2000, 60, 4);
+    // Mean genotype among cases should exceed controls at causal SNPs.
+    double diff_sum = 0.0;
+    for (std::size_t s : g.causal) {
+        double case_sum = 0, case_n = 0, ctrl_sum = 0, ctrl_n = 0;
+        for (std::size_t i = 0; i < g.individuals; ++i) {
+            const double geno = g.genotypes[i * g.snps + s];
+            if (g.phenotype[i]) {
+                case_sum += geno;
+                ++case_n;
+            } else {
+                ctrl_sum += geno;
+                ++ctrl_n;
+            }
+        }
+        diff_sum += case_sum / std::max(case_n, 1.0) -
+                    ctrl_sum / std::max(ctrl_n, 1.0);
+    }
+    EXPECT_GT(diff_sum / static_cast<double>(g.causal.size()), 0.05);
+}
+
+TEST(MakeSequenceTest, LengthAndAlphabet)
+{
+    Rng rng(5);
+    const std::string s = makeSequence(rng, 500);
+    EXPECT_EQ(s.size(), 500u);
+    for (char ch : s)
+        EXPECT_NE(std::string("ACGT").find(ch), std::string::npos);
+}
+
+TEST(MutateSequenceTest, SimilarLengthAndLimitedDivergence)
+{
+    Rng rng(6);
+    const std::string base = makeSequence(rng, 1000);
+    const std::string mut = mutateSequence(rng, base, 0.1);
+    // Indels are rare: length within 5%.
+    EXPECT_NEAR(static_cast<double>(mut.size()), 1000.0, 50.0);
+    EXPECT_NE(base, mut);
+    // Before the first indel shifts the frame, positionwise identity
+    // should be high (~1 - sub_rate). Check the leading segment.
+    std::size_t same = 0;
+    const std::size_t prefix = 30;
+    for (std::size_t i = 0; i < prefix; ++i)
+        same += base[i] == mut[i] ? 1 : 0;
+    EXPECT_GT(static_cast<double>(same) / prefix, 0.6);
+}
+
+TEST(MakeNetlistTest, AdjacencyIsValid)
+{
+    Rng rng(7);
+    const Netlist net = makeNetlist(rng, 256, 4);
+    EXPECT_EQ(net.elements, 256u);
+    EXPECT_GE(net.gridSide * net.gridSide, net.elements);
+    for (std::size_t e = 0; e < net.elements; ++e) {
+        for (auto nbr : net.adjacency[e]) {
+            EXPECT_LT(nbr, net.elements);
+            EXPECT_NE(nbr, e);
+        }
+    }
+}
+
+TEST(MakeNetlistTest, HasLocalityBias)
+{
+    Rng rng(8);
+    const Netlist net = makeNetlist(rng, 4096, 4);
+    std::size_t near = 0, total = 0;
+    for (std::size_t e = 0; e < net.elements; ++e) {
+        for (auto nbr : net.adjacency[e]) {
+            ++total;
+            if (std::llabs(static_cast<long long>(nbr) -
+                           static_cast<long long>(e)) <= 32)
+                ++near;
+        }
+    }
+    // The generator routes ~70% of nets to nearby ids.
+    EXPECT_GT(static_cast<double>(near) / static_cast<double>(total),
+              0.5);
+}
+
+TEST(MakeTermDocTest, CountsAreNonNegativeAndDocSized)
+{
+    Rng rng(9);
+    const TermDocData td = makeTermDoc(rng, 50, 80, 4);
+    EXPECT_EQ(td.counts.size(), 50u * 80u);
+    for (std::size_t d = 0; d < td.docs; ++d) {
+        double len = 0.0;
+        for (std::size_t w = 0; w < td.terms; ++w) {
+            EXPECT_GE(td.counts[d * td.terms + w], 0.0);
+            len += td.counts[d * td.terms + w];
+        }
+        EXPECT_GE(len, 80.0);  // min doc length
+        EXPECT_LE(len, 200.0); // max doc length
+    }
+}
+
+TEST(GeneratorsTest, DeterministicAcrossCalls)
+{
+    Rng a(10), b(10);
+    const BlobData ba = makeBlobs(a, 100, 3, 2);
+    const BlobData bb = makeBlobs(b, 100, 3, 2);
+    EXPECT_EQ(ba.points.data, bb.points.data);
+    EXPECT_EQ(ba.labels, bb.labels);
+}
+
+} // namespace

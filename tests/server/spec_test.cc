@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the platform specification (Table 1).
+ */
+
+#include "server/spec.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pliant::server::ServerSpec;
+
+TEST(ServerSpecTest, DefaultsMatchTableOne)
+{
+    ServerSpec s;
+    EXPECT_EQ(s.sockets, 2);
+    EXPECT_EQ(s.coresPerSocket, 22);
+    EXPECT_EQ(s.threadsPerCore, 2);
+    EXPECT_DOUBLE_EQ(s.baseGhz, 2.2);
+    EXPECT_DOUBLE_EQ(s.turboGhz, 3.6);
+    EXPECT_DOUBLE_EQ(s.llcMB, 55.0);
+    EXPECT_EQ(s.llcWays, 20);
+    EXPECT_EQ(s.memoryGB, 128);
+    EXPECT_EQ(s.memoryMHz, 2400);
+    EXPECT_DOUBLE_EQ(s.networkGbps, 10.0);
+}
+
+TEST(ServerSpecTest, PeakBandwidthDerivation)
+{
+    ServerSpec s;
+    // 4 channels x 8 B x 2400 MT/s = 76.8 GB/s.
+    EXPECT_DOUBLE_EQ(s.peakMemBwGbs(), 76.8);
+}
+
+TEST(ServerSpecTest, UsableCoresExcludeIrqCores)
+{
+    ServerSpec s;
+    // One socket (22) minus 6 irq cores = 16 for the containers.
+    EXPECT_EQ(s.usableCores(), 16);
+}
+
+TEST(ServerSpecTest, DescribeContainsKeyRows)
+{
+    ServerSpec s;
+    const auto rows = s.describe();
+    EXPECT_GE(rows.size(), 12u);
+    bool found_model = false, found_llc = false;
+    for (const auto &[k, v] : rows) {
+        if (k == "Model")
+            found_model = true;
+        if (k == "L3 (Last-Level) Cache")
+            found_llc = v.find("55") != std::string::npos;
+    }
+    EXPECT_TRUE(found_model);
+    EXPECT_TRUE(found_llc);
+}
+
+TEST(ServerSpecTest, CustomSpecPropagates)
+{
+    ServerSpec s;
+    s.coresPerSocket = 10;
+    s.irqCores = 2;
+    EXPECT_EQ(s.usableCores(), 8);
+}
+
+} // namespace

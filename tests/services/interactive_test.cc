@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the interactive service models.
+ */
+
+#include "services/interactive.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace {
+
+using namespace pliant::services;
+namespace sim = pliant::sim;
+
+WorkloadConfig
+steadyLoad(double load)
+{
+    WorkloadConfig wl;
+    wl.loadFraction = load;
+    wl.noiseSd = 0.0;
+    wl.burstRatePerSec = 0.0;
+    return wl;
+}
+
+TEST(ServiceConfigTest, QosTargetsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(defaultConfig(ServiceKind::Nginx).qosUs, 10e3);
+    EXPECT_DOUBLE_EQ(defaultConfig(ServiceKind::Memcached).qosUs, 200.0);
+    EXPECT_DOUBLE_EQ(defaultConfig(ServiceKind::MongoDb).qosUs, 100e3);
+}
+
+TEST(ServiceConfigTest, Names)
+{
+    EXPECT_EQ(serviceName(ServiceKind::Nginx), "nginx");
+    EXPECT_EQ(serviceName(ServiceKind::Memcached), "memcached");
+    EXPECT_EQ(serviceName(ServiceKind::MongoDb), "mongodb");
+}
+
+TEST(ServiceConfigTest, MemcachedIsMostSensitive)
+{
+    const auto mc = defaultConfig(ServiceKind::Memcached).sensitivity;
+    const auto mongo = defaultConfig(ServiceKind::MongoDb).sensitivity;
+    // The base colocation sensitivity orders memcached > mongodb.
+    EXPECT_GT(mc.base, mongo.base);
+}
+
+/** Each service meets QoS when run alone at its operating load. */
+class SoloQosTest : public ::testing::TestWithParam<ServiceKind>
+{
+};
+
+TEST_P(SoloQosTest, MeetsQosWithoutInterference)
+{
+    const ServiceConfig cfg = defaultConfig(GetParam());
+    InteractiveService svc(cfg, steadyLoad(0.78), 21);
+    pliant::util::PercentileWindow window;
+    for (int i = 0; i < 1000; ++i) {
+        const auto r = svc.tick(10 * sim::kMillisecond, 1.0);
+        for (double s : r.sampleUs)
+            window.add(s);
+    }
+    EXPECT_LE(window.p99(), cfg.qosUs)
+        << serviceName(GetParam()) << " should meet QoS solo";
+    // ... but not by an absurd margin (the operating point is near
+    // the latency knee, paper Section 5).
+    EXPECT_GE(window.p99(), 0.4 * cfg.qosUs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Services, SoloQosTest,
+                         ::testing::Values(ServiceKind::Nginx,
+                                           ServiceKind::Memcached,
+                                           ServiceKind::MongoDb));
+
+/** Sustained inflation above ~1.3 forces a QoS violation. */
+class InflatedQosTest : public ::testing::TestWithParam<ServiceKind>
+{
+};
+
+TEST_P(InflatedQosTest, HighInflationViolatesQos)
+{
+    const ServiceConfig cfg = defaultConfig(GetParam());
+    InteractiveService svc(cfg, steadyLoad(0.78), 22);
+    pliant::util::PercentileWindow window;
+    for (int i = 0; i < 1000; ++i) {
+        const auto r = svc.tick(10 * sim::kMillisecond, 1.35);
+        for (double s : r.sampleUs)
+            window.add(s);
+    }
+    EXPECT_GT(window.p99(), cfg.qosUs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Services, InflatedQosTest,
+                         ::testing::Values(ServiceKind::Nginx,
+                                           ServiceKind::Memcached,
+                                           ServiceKind::MongoDb));
+
+TEST(InteractiveServiceTest, LatencyGrowsWithInflation)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService a(cfg, steadyLoad(0.7), 5);
+    InteractiveService b(cfg, steadyLoad(0.7), 5);
+    double p_a = 0, p_b = 0;
+    for (int i = 0; i < 500; ++i) {
+        p_a += a.tick(10 * sim::kMillisecond, 1.0).p99Us;
+        p_b += b.tick(10 * sim::kMillisecond, 1.2).p99Us;
+    }
+    EXPECT_GT(p_b, p_a);
+}
+
+TEST(InteractiveServiceTest, LatencyGrowsWithLoad)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Nginx);
+    InteractiveService lo(cfg, steadyLoad(0.5), 5);
+    InteractiveService hi(cfg, steadyLoad(0.9), 5);
+    double p_lo = 0, p_hi = 0;
+    for (int i = 0; i < 500; ++i) {
+        p_lo += lo.tick(10 * sim::kMillisecond, 1.0).p99Us;
+        p_hi += hi.tick(10 * sim::kMillisecond, 1.0).p99Us;
+    }
+    EXPECT_GT(p_hi, p_lo * 1.2);
+}
+
+TEST(InteractiveServiceTest, MoreCoresLowerUtilization)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService svc(cfg, steadyLoad(0.8), 5);
+    const double rho_fair =
+        svc.tick(10 * sim::kMillisecond, 1.2).rho;
+    svc.setCores(cfg.fairCores + 4);
+    const double rho_more =
+        svc.tick(10 * sim::kMillisecond, 1.2).rho;
+    EXPECT_LT(rho_more, rho_fair);
+}
+
+TEST(InteractiveServiceTest, OverloadAccumulatesBacklogSpike)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService svc(cfg, steadyLoad(0.9), 5);
+    // Drive hard overload for two seconds.
+    double peak = 0.0;
+    for (int i = 0; i < 200; ++i)
+        peak = std::max(peak,
+                        svc.tick(10 * sim::kMillisecond, 1.8).p99Us);
+    EXPECT_GT(peak, 3.0 * cfg.qosUs);
+    // Recovery: drop inflation; the spike must drain.
+    double last = 0.0;
+    for (int i = 0; i < 300; ++i)
+        last = svc.tick(10 * sim::kMillisecond, 1.0).p99Us;
+    EXPECT_LT(last, 2.0 * cfg.qosUs);
+}
+
+TEST(InteractiveServiceTest, SamplesMatchAnalyticTail)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Nginx);
+    InteractiveService svc(cfg, steadyLoad(0.7), 5);
+    pliant::util::PercentileWindow window;
+    pliant::util::RunningStats analytic;
+    for (int i = 0; i < 2000; ++i) {
+        const auto r = svc.tick(10 * sim::kMillisecond, 1.0);
+        analytic.add(r.p99Us);
+        for (double s : r.sampleUs)
+            window.add(s);
+    }
+    // The sampled p99 should track the mean analytic p99 within ~20%.
+    EXPECT_NEAR(window.p99() / analytic.mean(), 1.0, 0.2);
+}
+
+TEST(InteractiveServiceTest, PressureScalesWithLoad)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService lo(cfg, steadyLoad(0.4), 5);
+    InteractiveService hi(cfg, steadyLoad(1.0), 5);
+    lo.tick(10 * sim::kMillisecond, 1.0);
+    hi.tick(10 * sim::kMillisecond, 1.0);
+    EXPECT_LT(lo.currentPressure().membwGbs,
+              hi.currentPressure().membwGbs);
+    EXPECT_LT(lo.currentPressure().compute,
+              hi.currentPressure().compute);
+}
+
+TEST(InteractiveServiceTest, CurrentQpsTracksLoad)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService svc(cfg, steadyLoad(0.5), 5);
+    svc.tick(10 * sim::kMillisecond, 1.0);
+    EXPECT_NEAR(svc.currentQps(), 0.5 * cfg.saturationQps,
+                0.02 * cfg.saturationQps);
+}
+
+TEST(InteractiveServiceTest, DeterministicForSeed)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::MongoDb);
+    InteractiveService a(cfg, WorkloadConfig{}, 77);
+    InteractiveService b(cfg, WorkloadConfig{}, 77);
+    for (int i = 0; i < 200; ++i) {
+        const auto ra = a.tick(10 * sim::kMillisecond, 1.1);
+        const auto rb = b.tick(10 * sim::kMillisecond, 1.1);
+        EXPECT_DOUBLE_EQ(ra.p99Us, rb.p99Us);
+        ASSERT_EQ(ra.sampleUs.size(), rb.sampleUs.size());
+    }
+}
+
+} // namespace

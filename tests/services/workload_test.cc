@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the open-loop workload generator.
+ */
+
+#include "services/workload.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace {
+
+using namespace pliant::services;
+namespace sim = pliant::sim;
+
+TEST(WorkloadGeneratorTest, StartsAtConfiguredLoad)
+{
+    WorkloadConfig cfg;
+    cfg.loadFraction = 0.6;
+    WorkloadGenerator g(cfg, 1);
+    EXPECT_DOUBLE_EQ(g.current(), 0.6);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicForSeed)
+{
+    WorkloadConfig cfg;
+    WorkloadGenerator a(cfg, 9), b(cfg, 9);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_DOUBLE_EQ(a.tick(10 * sim::kMillisecond),
+                         b.tick(10 * sim::kMillisecond));
+}
+
+TEST(WorkloadGeneratorTest, MeanRevertsToTarget)
+{
+    WorkloadConfig cfg;
+    cfg.loadFraction = 0.78;
+    cfg.burstRatePerSec = 0.0; // isolate the OU process
+    WorkloadGenerator g(cfg, 3);
+    pliant::util::RunningStats stats;
+    for (int i = 0; i < 60000; ++i)
+        stats.add(g.tick(10 * sim::kMillisecond));
+    EXPECT_NEAR(stats.mean(), 0.78, 0.01);
+    EXPECT_LT(stats.stddev(), 3.5 * cfg.noiseSd);
+}
+
+TEST(WorkloadGeneratorTest, NoiseIsBounded)
+{
+    WorkloadConfig cfg;
+    cfg.loadFraction = 0.78;
+    cfg.burstRatePerSec = 0.0;
+    WorkloadGenerator g(cfg, 4);
+    for (int i = 0; i < 60000; ++i) {
+        const double l = g.tick(10 * sim::kMillisecond);
+        EXPECT_GE(l, 0.78 - 3.0 * cfg.noiseSd - 1e-9);
+        EXPECT_LE(l, 0.78 + 3.0 * cfg.noiseSd + 1e-9);
+    }
+}
+
+TEST(WorkloadGeneratorTest, BurstsRaiseLoad)
+{
+    WorkloadConfig cfg;
+    cfg.loadFraction = 0.7;
+    cfg.noiseSd = 0.0;
+    cfg.burstRatePerSec = 5.0; // force frequent bursts
+    cfg.burstHeight = 1.2;
+    WorkloadGenerator g(cfg, 5);
+    bool saw_burst = false;
+    for (int i = 0; i < 2000; ++i) {
+        const double l = g.tick(10 * sim::kMillisecond);
+        if (g.inBurst()) {
+            saw_burst = true;
+            EXPECT_NEAR(l, 0.7 * 1.2, 1e-9);
+        }
+    }
+    EXPECT_TRUE(saw_burst);
+}
+
+TEST(WorkloadGeneratorTest, BurstsEnd)
+{
+    WorkloadConfig cfg;
+    cfg.noiseSd = 0.0;
+    cfg.burstRatePerSec = 100.0; // start immediately
+    cfg.burstLength = 100 * sim::kMillisecond;
+    WorkloadGenerator g(cfg, 6);
+    g.tick(10 * sim::kMillisecond);
+    ASSERT_TRUE(g.inBurst());
+    for (int i = 0; i < 11; ++i)
+        g.tick(10 * sim::kMillisecond);
+    // A new burst may retrigger at this rate, but the original must
+    // have expired at some point; verify load returns when not in
+    // burst by turning the rate off.
+    WorkloadConfig calm = cfg;
+    calm.burstRatePerSec = 0.0;
+    WorkloadGenerator g2(calm, 6);
+    for (int i = 0; i < 50; ++i)
+        g2.tick(10 * sim::kMillisecond);
+    EXPECT_FALSE(g2.inBurst());
+}
+
+TEST(WorkloadGeneratorTest, LoadNeverNegative)
+{
+    WorkloadConfig cfg;
+    cfg.loadFraction = 0.01;
+    cfg.noiseSd = 0.5; // extreme noise
+    WorkloadGenerator g(cfg, 7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(g.tick(10 * sim::kMillisecond), 0.0);
+}
+
+} // namespace

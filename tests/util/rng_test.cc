@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG and its distributions.
+ */
+
+#include "util/rng.hh"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pliant::util::Rng;
+using pliant::util::SplitMix64;
+
+TEST(SplitMix64Test, DeterministicForSeed)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    // All 7 values should appear in 10k draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntOneIsAlwaysZero)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(RngTest, CoinProbability)
+{
+    Rng rng(17);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.coin(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LognormalMeanCvMatchesRequestedMean)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormalMeanCv(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive)
+{
+    Rng rng(37);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.lognormalMeanCv(1.0, 1.0), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(41);
+    Rng child = parent.fork();
+    // Parent and child should not produce the same sequence.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == ~0ULL);
+    Rng rng(1);
+    EXPECT_NE(rng(), rng());
+}
+
+/** Chi-square uniformity across 16 buckets at various seeds. */
+class RngUniformityTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformityTest, BucketsAreBalanced)
+{
+    Rng rng(GetParam());
+    const int buckets = 16;
+    const int n = 64000;
+    std::vector<int> count(buckets, 0);
+    for (int i = 0; i < n; ++i)
+        ++count[static_cast<std::size_t>(rng.uniformInt(buckets))];
+    const double expected = static_cast<double>(n) / buckets;
+    double chi2 = 0.0;
+    for (int c : count)
+        chi2 += (c - expected) * (c - expected) / expected;
+    // 15 dof; P(chi2 > 37.7) ~= 0.001.
+    EXPECT_LT(chi2, 37.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+} // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for streaming statistics and percentile estimators.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace {
+
+using pliant::util::FiveNumber;
+using pliant::util::P2Quantile;
+using pliant::util::PercentileWindow;
+using pliant::util::Reservoir;
+using pliant::util::Rng;
+using pliant::util::RunningStats;
+
+TEST(RunningStatsTest, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential)
+{
+    Rng rng(5);
+    RunningStats whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        whole.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, CvOfConstantIsZero)
+{
+    RunningStats s;
+    for (int i = 0; i < 10; ++i)
+        s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(PercentileWindowTest, EmptyReturnsZero)
+{
+    PercentileWindow w;
+    EXPECT_EQ(w.percentile(99.0), 0.0);
+}
+
+TEST(PercentileWindowTest, SingleSample)
+{
+    PercentileWindow w;
+    w.add(42.0);
+    EXPECT_DOUBLE_EQ(w.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(w.percentile(100.0), 42.0);
+}
+
+TEST(PercentileWindowTest, LinearInterpolation)
+{
+    PercentileWindow w;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        w.add(x);
+    EXPECT_DOUBLE_EQ(w.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(w.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50.0), 25.0);
+}
+
+TEST(PercentileWindowTest, P99OfUniformRamp)
+{
+    PercentileWindow w;
+    for (int i = 1; i <= 1000; ++i)
+        w.add(static_cast<double>(i));
+    EXPECT_NEAR(w.p99(), 990.0, 1.0);
+    EXPECT_NEAR(w.p50(), 500.5, 1.0);
+    EXPECT_NEAR(w.mean(), 500.5, 1e-9);
+}
+
+TEST(PercentileWindowTest, OrderIndependent)
+{
+    PercentileWindow asc, desc;
+    for (int i = 0; i < 100; ++i) {
+        asc.add(i);
+        desc.add(99 - i);
+    }
+    EXPECT_DOUBLE_EQ(asc.p99(), desc.p99());
+}
+
+TEST(P2QuantileTest, ExactBelowFiveSamples)
+{
+    P2Quantile q(0.5);
+    q.add(3.0);
+    q.add(1.0);
+    q.add(2.0);
+    EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2QuantileTest, EmptyIsZero)
+{
+    P2Quantile q(0.99);
+    EXPECT_EQ(q.value(), 0.0);
+    EXPECT_EQ(q.count(), 0u);
+}
+
+/** P2 accuracy vs exact percentile for several target quantiles. */
+class P2AccuracyTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(P2AccuracyTest, TracksExactOnLognormal)
+{
+    const double target = GetParam();
+    Rng rng(101);
+    P2Quantile est(target);
+    PercentileWindow exact;
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rng.lognormalMeanCv(100.0, 0.8);
+        est.add(x);
+        exact.add(x);
+    }
+    const double truth = exact.percentile(target * 100.0);
+    EXPECT_NEAR(est.value() / truth, 1.0, 0.08)
+        << "target quantile " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2AccuracyTest,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(ReservoirTest, KeepsAllWhenUnderCapacity)
+{
+    Rng rng(3);
+    Reservoir<Rng> r(100);
+    for (int i = 0; i < 50; ++i)
+        r.add(i, rng);
+    EXPECT_EQ(r.data().size(), 50u);
+    EXPECT_EQ(r.seenCount(), 50u);
+}
+
+TEST(ReservoirTest, BoundedAtCapacity)
+{
+    Rng rng(3);
+    Reservoir<Rng> r(64);
+    for (int i = 0; i < 10000; ++i)
+        r.add(i, rng);
+    EXPECT_EQ(r.data().size(), 64u);
+    EXPECT_EQ(r.seenCount(), 10000u);
+}
+
+TEST(ReservoirTest, SampleIsRepresentative)
+{
+    Rng rng(9);
+    Reservoir<Rng> r(2000);
+    for (int i = 0; i < 100000; ++i)
+        r.add(static_cast<double>(i % 1000), rng);
+    double sum = 0.0;
+    for (double x : r.data())
+        sum += x;
+    EXPECT_NEAR(sum / static_cast<double>(r.data().size()), 499.5, 40.0);
+}
+
+TEST(FiveNumberTest, EmptyIsZeros)
+{
+    const FiveNumber f = FiveNumber::of({});
+    EXPECT_EQ(f.min, 0.0);
+    EXPECT_EQ(f.max, 0.0);
+}
+
+TEST(FiveNumberTest, KnownValues)
+{
+    const FiveNumber f =
+        FiveNumber::of({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(f.min, 1.0);
+    EXPECT_DOUBLE_EQ(f.q1, 2.0);
+    EXPECT_DOUBLE_EQ(f.median, 3.0);
+    EXPECT_DOUBLE_EQ(f.q3, 4.0);
+    EXPECT_DOUBLE_EQ(f.max, 5.0);
+}
+
+TEST(FiveNumberTest, UnsortedInput)
+{
+    const FiveNumber f = FiveNumber::of({5.0, 1.0, 3.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(f.median, 3.0);
+    EXPECT_DOUBLE_EQ(f.min, 1.0);
+    EXPECT_DOUBLE_EQ(f.max, 5.0);
+}
+
+} // namespace
