@@ -7,6 +7,13 @@
  * catalog curve plus dominated cloud for all 24 paper applications.
  * Even rows: the tail latency (relative to QoS) of each *selected*
  * variant when statically colocated with each interactive service.
+ *
+ * Both halves run through the parallel experiment driver
+ * (driver::Sweep). The kernel explorations are live wall-clock
+ * measurements, so that half is pinned to one worker for timing
+ * fidelity; the static colocation grid is pure simulation and fans
+ * out one task per (app, variant, service) cell, printing identical
+ * results at any worker count (set PLIANT_THREADS to override).
  */
 
 #include <iostream>
@@ -27,9 +34,15 @@ exploreRealKernels()
                  "(odd rows, live measurement) ---\n\n";
     dse::ExploreOptions opts;
     opts.repetitions = 3;
-    for (const auto &entry : kernels::kernelRegistry()) {
-        auto kernel = entry.make(42);
-        const dse::ExploreResult res = dse::exploreKernel(*kernel, opts);
+    driver::SweepOptions sweep;
+    sweep.seed = 42;
+    sweep.label = "fig1-dse";
+    // Kernel exploration is live wall-clock measurement; concurrent
+    // kernels contend for cores, skewing timeNorm and flipping
+    // Pareto selections. Keep this half measurement-grade (serial).
+    // The colocation half below is pure simulation and fans out.
+    sweep.threads = 1;
+    for (const auto &res : dse::exploreRegistry(opts, sweep)) {
         std::cout << "[" << res.app << "] precise "
                   << util::fmt(res.preciseMs, 2) << " ms, "
                   << res.points.size() << " variants examined, "
@@ -59,6 +72,30 @@ staticColocationRows()
         services::ServiceKind::Memcached,
         services::ServiceKind::MongoDb,
     };
+
+    // Flatten the (app, variant, service) grid into one batch so the
+    // driver can keep every worker busy across profile boundaries.
+    std::vector<colo::ColoConfig> configs;
+    for (const auto &prof : approx::catalog()) {
+        for (const auto &v : prof.variants) {
+            for (auto kind : kinds) {
+                colo::ColoConfig cfg;
+                cfg.service = kind;
+                cfg.apps = {prof.name};
+                cfg.runtime = core::RuntimeKind::Precise;
+                cfg.initialVariants = {v.index};
+                cfg.maxDuration = 30 * sim::kSecond;
+                cfg.seed = 7;
+                configs.push_back(cfg);
+            }
+        }
+    }
+
+    driver::SweepOptions sweep;
+    sweep.label = "fig1-colo";
+    const auto results = colo::runColocations(configs, sweep);
+
+    std::size_t cell = 0;
     for (const auto &prof : approx::catalog()) {
         std::cout << "[" << prof.name << "] ("
                   << approx::suiteName(prof.suite) << ", "
@@ -70,16 +107,8 @@ staticColocationRows()
         for (const auto &v : prof.variants) {
             std::vector<std::string> row{v.isPrecise() ? "precise"
                                                        : v.label};
-            for (auto kind : kinds) {
-                colo::ColoConfig cfg;
-                cfg.service = kind;
-                cfg.apps = {prof.name};
-                cfg.runtime = core::RuntimeKind::Precise;
-                cfg.initialVariants = {v.index};
-                cfg.maxDuration = 30 * sim::kSecond;
-                cfg.seed = 7;
-                colo::ColocationExperiment exp(cfg);
-                const colo::ColoResult r = exp.run();
+            for (std::size_t k = 0; k < std::size(kinds); ++k) {
+                const colo::ColoResult &r = results[cell++];
                 row.push_back(
                     util::fmt(r.steadyP99Us / r.qosUs, 2) + "x");
             }

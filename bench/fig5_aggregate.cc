@@ -9,6 +9,10 @@
  * DynamoRIO-substitute instrumentation overhead (whiskers). Also
  * reports the Section 6.2 aggregates: violation ranges in precise
  * mode, average/max inaccuracy, and average/max dynrec overhead.
+ *
+ * All 24 x 3 x 2 experiments run as one batch through the parallel
+ * experiment driver; results come back in config order so the
+ * printed tables are identical at any thread count.
  */
 
 #include <algorithm>
@@ -31,10 +35,25 @@ main()
         services::ServiceKind::MongoDb,
     };
 
+    // One precise + one pliant config per (service, app) cell.
+    std::vector<colo::ColoConfig> configs;
+    for (auto kind : kinds) {
+        for (const auto &prof : approx::catalog()) {
+            configs.push_back(colo::makeColoConfig(
+                kind, {prof.name}, core::RuntimeKind::Precise, 31));
+            configs.push_back(colo::makeColoConfig(
+                kind, {prof.name}, core::RuntimeKind::Pliant, 31));
+        }
+    }
+    driver::SweepOptions sweep;
+    sweep.label = "fig5";
+    const auto results = colo::runColocations(configs, sweep);
+
     double inacc_sum = 0.0, inacc_max = 0.0;
     double ovh_sum = 0.0, ovh_max = 0.0;
     int n = 0;
 
+    std::size_t cell = 0;
     for (auto kind : kinds) {
         double viol_min = 1e18, viol_max = 0.0;
         int qos_ok = 0;
@@ -47,10 +66,8 @@ main()
                            "rel exec", "inaccuracy", "dynrec ovh",
                            "cores"});
         for (const auto &prof : approx::catalog()) {
-            const auto prec = colo::runColocation(
-                kind, {prof.name}, core::RuntimeKind::Precise, 31);
-            const auto pli = colo::runColocation(
-                kind, {prof.name}, core::RuntimeKind::Pliant, 31);
+            const auto &prec = results[cell++];
+            const auto &pli = results[cell++];
 
             const double prec_ratio = prec.steadyP99Us / prec.qosUs;
             const double pli_ratio =

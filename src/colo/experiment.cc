@@ -326,14 +326,42 @@ runColocation(services::ServiceKind service,
               core::RuntimeKind runtime, std::uint64_t seed,
               double load_fraction)
 {
+    ColocationExperiment exp(
+        makeColoConfig(service, apps, runtime, seed, load_fraction));
+    return exp.run();
+}
+
+ColoConfig
+makeColoConfig(services::ServiceKind service,
+               const std::vector<std::string> &apps,
+               core::RuntimeKind runtime, std::uint64_t seed,
+               double load_fraction)
+{
     ColoConfig cfg;
     cfg.service = service;
     cfg.apps = apps;
     cfg.runtime = runtime;
     cfg.seed = seed;
     cfg.loadFraction = load_fraction;
-    ColocationExperiment exp(cfg);
-    return exp.run();
+    return cfg;
+}
+
+std::vector<ColoResult>
+runColocations(const std::vector<ColoConfig> &configs,
+               const driver::SweepOptions &sweep_opts)
+{
+    driver::Sweep sweep(sweep_opts);
+    util::inform("colo: running ", configs.size(),
+                 " experiments on ", sweep.threadCount(), " threads");
+    return sweep.mapItems(
+        configs,
+        [](const ColoConfig &cfg, const driver::TaskContext &) {
+            // The config's own seed governs the experiment; the task
+            // seed is deliberately unused so a batch equals the same
+            // configs run one by one.
+            ColocationExperiment exp(cfg);
+            return exp.run();
+        });
 }
 
 } // namespace colo

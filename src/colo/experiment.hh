@@ -18,6 +18,7 @@
 #include "core/actuator.hh"
 #include "core/monitor.hh"
 #include "core/runtime.hh"
+#include "driver/sweep.hh"
 #include "server/interference.hh"
 #include "server/partition.hh"
 #include "server/spec.hh"
@@ -185,6 +186,29 @@ ColoResult runColocation(services::ServiceKind service,
                          core::RuntimeKind runtime,
                          std::uint64_t seed = 1,
                          double load_fraction = 0.78);
+
+/**
+ * Run a batch of colocation experiments through the parallel
+ * experiment driver: one sweep task per config, results in config
+ * order. Each experiment is fully deterministic given its
+ * ColoConfig (cfg.seed included), so the returned vector is
+ * byte-identical at any thread count — the property the figure
+ * benches and the driver determinism test rely on.
+ */
+std::vector<ColoResult>
+runColocations(const std::vector<ColoConfig> &configs,
+               const driver::SweepOptions &sweep =
+                   driver::SweepOptions{});
+
+/**
+ * Build the ColoConfig runColocation() would run, so batch callers
+ * can assemble config lists with identical semantics.
+ */
+ColoConfig makeColoConfig(services::ServiceKind service,
+                          const std::vector<std::string> &apps,
+                          core::RuntimeKind runtime,
+                          std::uint64_t seed = 1,
+                          double load_fraction = 0.78);
 
 } // namespace colo
 } // namespace pliant

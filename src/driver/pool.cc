@@ -1,0 +1,135 @@
+#include "driver/pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace driver {
+
+namespace {
+/**
+ * Sanity ceiling on the worker count: far above any useful
+ * oversubscription, low enough that a typo'd PLIANT_THREADS cannot
+ * exhaust the process thread limit.
+ */
+constexpr long kMaxThreads = 512;
+} // namespace
+
+unsigned
+Pool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("PLIANT_THREADS")) {
+        try {
+            const long v = std::stol(env);
+            if (v >= 1 && v <= kMaxThreads)
+                return static_cast<unsigned>(v);
+            util::warn("ignoring out-of-range PLIANT_THREADS=", env,
+                       " (want 1..", kMaxThreads, ")");
+        } catch (const std::exception &) {
+            util::warn("ignoring unparsable PLIANT_THREADS=", env);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+Pool::Pool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads > kMaxThreads)
+        threads = static_cast<unsigned>(kMaxThreads);
+    workers.reserve(threads);
+    try {
+        for (unsigned i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // A failed spawn mid-loop must not leak joinable threads:
+        // stop the ones that did start, then surface the error.
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        cvJob.notify_all();
+        for (auto &w : workers)
+            w.join();
+        throw;
+    }
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvJob.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+Pool::submit(std::function<void()> job)
+{
+    if (!job)
+        util::panic("Pool::submit called with an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            util::panic("Pool::submit on a stopping pool");
+        queue.push_back(std::move(job));
+    }
+    cvJob.notify_one();
+}
+
+void
+Pool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cvIdle.wait(lock,
+                [this] { return queue.empty() && inFlight == 0; });
+    if (firstError) {
+        std::exception_ptr err = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+Pool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvJob.wait(lock,
+                       [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+
+        std::exception_ptr err;
+        try {
+            job();
+        } catch (...) {
+            err = std::current_exception();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (err && !firstError)
+                firstError = err;
+            --inFlight;
+            if (queue.empty() && inFlight == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace driver
+} // namespace pliant

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for the parallel experiment driver.
+ *
+ * Colocation experiments and DSE measurements are independent,
+ * CPU-bound, and deterministic given their configuration, so the
+ * driver fans them out across a small pool of workers. The pool is
+ * deliberately minimal: submit closures, then wait() for the barrier.
+ * Ordering guarantees (and therefore reproducibility) are provided
+ * one level up by driver::Sweep, which assigns every task a slot and
+ * a seed that depend only on the task index — never on which worker
+ * picks it up.
+ */
+
+#ifndef PLIANT_DRIVER_POOL_HH
+#define PLIANT_DRIVER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pliant {
+namespace driver {
+
+/**
+ * A fixed pool of worker threads draining a FIFO job queue.
+ *
+ * Exceptions escaping a job are captured; the first one observed is
+ * rethrown from the next wait(). (driver::Sweep catches per-task
+ * exceptions itself to make propagation deterministic by task index.)
+ */
+class Pool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks defaultThreadCount().
+     */
+    explicit Pool(unsigned threads = 0);
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /** Enqueue a job. Never blocks on job execution. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. Rethrows the
+     * first exception captured from a job since the previous wait().
+     * The pool stays usable afterwards.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Worker count used when the caller passes 0: the environment
+     * variable PLIANT_THREADS if set to a positive integer, else
+     * std::thread::hardware_concurrency(), with a floor of 1.
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable cvJob;  ///< signals workers: job or stop
+    std::condition_variable cvIdle; ///< signals wait(): all drained
+    std::deque<std::function<void()>> queue;
+    std::size_t inFlight = 0; ///< jobs currently executing
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace driver
+} // namespace pliant
+
+#endif // PLIANT_DRIVER_POOL_HH

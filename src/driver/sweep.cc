@@ -1,0 +1,21 @@
+#include "driver/sweep.hh"
+
+#include "util/rng.hh"
+
+namespace pliant {
+namespace driver {
+
+std::uint64_t
+taskSeed(std::uint64_t base, std::size_t index)
+{
+    // Salt the index so task 0 of seed s and task s of seed 0 do not
+    // collide, then finalize with SplitMix64 for avalanche.
+    util::SplitMix64 sm(base ^
+                        (static_cast<std::uint64_t>(index) *
+                         0x9e3779b97f4a7c15ULL) ^
+                        0x5eedULL);
+    return sm.next();
+}
+
+} // namespace driver
+} // namespace pliant

@@ -55,6 +55,26 @@ exploreKernel(kernels::ApproxKernel &kernel, const ExploreOptions &opts)
     return result;
 }
 
+std::vector<ExploreResult>
+exploreRegistry(const ExploreOptions &opts,
+                const driver::SweepOptions &sweep_opts)
+{
+    const auto &registry = kernels::kernelRegistry();
+    driver::Sweep sweep(sweep_opts);
+    util::inform("dse: exploring ", registry.size(),
+                 " kernels on ", sweep.threadCount(), " threads");
+    return sweep.map(registry.size(),
+                     [&](const driver::TaskContext &ctx) {
+                         // The base seed, not the per-task seed:
+                         // every kernel gets the dataset a serial
+                         // `entry.make(seed)` loop would build, so
+                         // batching never changes the figures.
+                         auto kernel = registry[ctx.index].make(
+                             sweep_opts.seed);
+                         return exploreKernel(*kernel, opts);
+                     });
+}
+
 std::vector<std::size_t>
 paretoSelect(const std::vector<DsePoint> &points, double budget)
 {

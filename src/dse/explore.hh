@@ -20,6 +20,7 @@
 
 #include "approx/profile.hh"
 #include "approx/variant.hh"
+#include "driver/sweep.hh"
 #include "kernels/kernel.hh"
 
 namespace pliant {
@@ -62,6 +63,24 @@ struct ExploreResult
  */
 ExploreResult exploreKernel(kernels::ApproxKernel &kernel,
                             const ExploreOptions &opts = ExploreOptions{});
+
+/**
+ * Explore every kernel in the registry through the parallel
+ * experiment driver: one sweep task per kernel, each constructing its
+ * own kernel instance from sweep.seed (the same seed a serial loop
+ * would use, so a batch equals one-by-one exploration) and running
+ * exploreKernel on it. Results come back in registry order at any
+ * thread count. Caveat: kernel times are live wall-clock
+ * measurements, so concurrent exploration adds contention noise to
+ * timeNorm — and Pareto selection depends on it. Inaccuracy values
+ * and the knob space are exactly reproducible; for measurement-grade
+ * timings and stable selections run with sweep.threads = 1 (or
+ * PLIANT_THREADS=1).
+ */
+std::vector<ExploreResult>
+exploreRegistry(const ExploreOptions &opts = ExploreOptions{},
+                const driver::SweepOptions &sweep =
+                    driver::SweepOptions{});
 
 /**
  * Pareto selection over measured points: a point is selected iff its

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace pliant {
@@ -419,6 +420,13 @@ ClustalKernel::quality(double approx_metric, double precise_metric)
 GlimmerKernel::GlimmerKernel(std::uint64_t seed, ImmConfig config)
     : cfg(config)
 {
+    // Background windows are drawn from offset 600 onward and span
+    // windowLength bases; the genome must leave room for at least
+    // one (execute() takes `% (genomeLength - windowLength - 600)`).
+    if (cfg.genomeLength <= cfg.windowLength + 600)
+        util::fatal("glimmer: genomeLength (", cfg.genomeLength,
+                    ") must exceed windowLength + 600 (",
+                    cfg.windowLength + 600, ")");
     util::Rng rng(seed ^ 0x911e);
     // Synthetic genome: background with planted "coding" regions that
     // have a biased codon-like 3-periodic composition.
@@ -545,8 +553,11 @@ GlimmerKernel::execute(const Knobs &knobs)
             const auto &region = codingRegions[w % codingRegions.size()];
             start = region.first + static_cast<std::size_t>(order);
         } else {
-            // Background stretch between regions.
-            start = 600 + (w * 977) % (genome.size() - 2 * cfg.windowLength);
+            // Background stretch between regions; keep the whole
+            // window inside the genome (scoring reads
+            // [start, start + windowLength)).
+            start = 600 +
+                    (w * 977) % (genome.size() - cfg.windowLength - 600);
             bool overlaps = false;
             for (const auto &[lo, hi] : codingRegions)
                 if (start + cfg.windowLength > lo && start < hi)

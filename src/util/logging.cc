@@ -1,22 +1,37 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <mutex>
+
 namespace pliant {
 namespace util {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+/**
+ * Relaxed atomics suffice: the level is a configuration value, and
+ * driver::Pool workers only ever read it.
+ */
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/** Serializes emit() so concurrent worker logs never interleave. */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -24,8 +39,10 @@ namespace detail {
 void
 emit(LogLevel level, const std::string &tag, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+    if (static_cast<int>(level) >
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed)))
         return;
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::cerr << "[" << tag << "] " << msg << '\n';
 }
 
