@@ -4,14 +4,15 @@
  * multi-application arbiter vs the impact-aware arbiter that
  * escalates the app with the best contention-relief per unit quality
  * loss. Compares QoS, aggregate inaccuracy, and fairness across
- * sampled 2- and 3-app mixes.
+ * sampled 2- and 3-app mixes, one driver batch per (service,
+ * arbiter) combination.
  */
 
 #include <algorithm>
 #include <iostream>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -33,6 +34,7 @@ runMixes(services::ServiceKind kind, core::ArbiterKind arbiter,
 {
     const auto names = approx::catalogNames();
     util::Rng rng(61);
+    std::vector<colo::ColoConfig> configs;
     for (int arity = 2; arity <= 3; ++arity) {
         for (int s = 0; s < mixes; ++s) {
             std::vector<std::string> mix;
@@ -48,19 +50,22 @@ runMixes(services::ServiceKind kind, core::ArbiterKind arbiter,
             cfg.apps = mix;
             cfg.arbiter = arbiter;
             cfg.seed = 61 + static_cast<std::uint64_t>(s);
-            colo::ColocationExperiment exp(cfg);
-            const colo::ColoResult r = exp.run();
-
-            stats.latency.add(r.meanIntervalP99Us / r.qosUs);
-            double lo = 1.0, hi = 0.0, sum = 0.0;
-            for (const auto &app : r.apps) {
-                lo = std::min(lo, app.inaccuracy);
-                hi = std::max(hi, app.inaccuracy);
-                sum += app.inaccuracy;
-            }
-            stats.inacc.add(sum / static_cast<double>(r.apps.size()));
-            stats.spread.add(hi - lo);
+            configs.push_back(cfg);
         }
+    }
+
+    driver::SweepOptions sweep;
+    sweep.label = "ablation-arbiter";
+    for (const auto &r : colo::runColocations(configs, sweep)) {
+        stats.latency.add(r.meanIntervalP99Us / r.qosUs);
+        double lo = 1.0, hi = 0.0, sum = 0.0;
+        for (const auto &app : r.apps) {
+            lo = std::min(lo, app.inaccuracy);
+            hi = std::max(hi, app.inaccuracy);
+            sum += app.inaccuracy;
+        }
+        stats.inacc.add(sum / static_cast<double>(r.apps.size()));
+        stats.spread.add(hi - lo);
     }
 }
 

@@ -14,7 +14,7 @@
 
 #include <iostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -44,7 +44,7 @@ runConfig(services::ServiceKind kind, core::RuntimeKind runtime,
         cfg.runtime = runtime;
         cfg.enableCachePartitioning = partitioning;
         cfg.seed = 71;
-        colo::ColocationExperiment exp(cfg);
+        colo::Engine exp(cfg);
         const colo::ColoResult r = exp.run();
         row.latency.add(r.meanIntervalP99Us / r.qosUs);
         row.cores.add(r.typicalCoresReclaimed);

@@ -4,13 +4,14 @@
  * the fraction of colocations resolved by approximation alone versus
  * those requiring 1, 2, 3, or 4+ reclaimed cores. Covers all single-
  * app colocations plus sampled 2- and 3-app mixes, as in the paper.
+ * Each service's full config set runs as one driver batch.
  */
 
 #include <algorithm>
 #include <iostream>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -30,19 +31,14 @@ main(int argc, char **argv)
     for (auto kind : {services::ServiceKind::Nginx,
                       services::ServiceKind::Memcached,
                       services::ServiceKind::MongoDb}) {
-        int buckets[5] = {0, 0, 0, 0, 0};
-        int runs = 0;
-        auto record = [&](const colo::ColoResult &r) {
-            const int cores =
-                std::min(r.typicalCoresReclaimed, 4);
-            ++buckets[cores];
-            ++runs;
-        };
-
+        std::vector<colo::ColoConfig> configs;
         for (const auto &name : names)
-            record(colo::runColocation(kind, {name},
-                                       core::RuntimeKind::Pliant, 47));
+            configs.push_back(colo::makeColoConfig(
+                kind, {name}, core::RuntimeKind::Pliant, 47));
 
+        // The mix sampling RNG is seeded independently of the sweep,
+        // so the config list (and thus the output) is identical at
+        // any thread count.
         util::Rng rng(53);
         for (int arity = 2; arity <= 3; ++arity) {
             for (int s = 0; s < mixes_per_arity; ++s) {
@@ -54,11 +50,20 @@ main(int argc, char **argv)
                         mix.end())
                         mix.push_back(cand);
                 }
-                record(colo::runColocation(
+                configs.push_back(colo::makeColoConfig(
                     kind, mix, core::RuntimeKind::Pliant,
                     47 + static_cast<std::uint64_t>(s)));
             }
         }
+
+        driver::SweepOptions sweep;
+        sweep.label = "fig10-" + services::serviceName(kind);
+        const auto results = colo::runColocations(configs, sweep);
+
+        int buckets[5] = {0, 0, 0, 0, 0};
+        for (const auto &r : results)
+            ++buckets[std::min(r.typicalCoresReclaimed, 4)];
+        const int runs = static_cast<int>(results.size());
 
         std::vector<std::string> row{services::serviceName(kind)};
         for (int b = 0; b < 5; ++b)

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/histogram.hh"
 #include "util/table.hh"
 
@@ -23,7 +23,7 @@ timeline(services::ServiceKind kind, const std::string &app)
     cfg.apps = {app};
     cfg.runtime = core::RuntimeKind::Pliant;
     cfg.seed = 23;
-    colo::ColocationExperiment exp(cfg);
+    colo::Engine exp(cfg);
     const colo::ColoResult r = exp.run();
 
     const int most =

@@ -19,7 +19,7 @@
 #include <iostream>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/table.hh"
 
 using namespace pliant;

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/histogram.hh"
 #include "util/table.hh"
 
@@ -23,7 +23,7 @@ multiTimeline(services::ServiceKind kind)
     cfg.apps = {"canneal", "bayesian"};
     cfg.runtime = core::RuntimeKind::Pliant;
     cfg.seed = 29;
-    colo::ColocationExperiment exp(cfg);
+    colo::Engine exp(cfg);
     const colo::ColoResult r = exp.run();
 
     std::cout << "[" << r.service

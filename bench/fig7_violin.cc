@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"

@@ -4,13 +4,14 @@
  * service, sweep the offered load from 40% to 100% of saturation and
  * report the tail latency and each colocated app's execution time.
  * Also reports the max load at which QoS is met in precise-only mode
- * (the paper's 340K / 280K / 310 QPS crossovers).
+ * (the paper's 340K / 280K / 310 QPS crossovers). Both grids run as
+ * one batch per service through the experiment driver.
  */
 
 #include <iostream>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/table.hh"
 
 using namespace pliant;
@@ -21,6 +22,8 @@ namespace {
 const char *kApps[] = {"fluidanimate", "canneal", "raytrace",
                        "water_spatial", "bayesian", "kmeans",
                        "snp", "plsa"};
+
+const double kLoads[] = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 
 std::string
 qpsLabel(services::ServiceKind kind, double load)
@@ -36,12 +39,32 @@ void
 sweepService(services::ServiceKind kind)
 {
     std::cout << "--- " << services::serviceName(kind) << " ---\n";
+
+    std::vector<colo::ColoConfig> configs;
+    for (const char *app : kApps)
+        for (double load : kLoads)
+            configs.push_back(colo::makeColoConfig(
+                kind, {app}, core::RuntimeKind::Pliant, 37, load));
+
+    // Precise-only crossover grid: the highest load at which QoS is
+    // still met with a precise co-runner (canneal, the toughest one).
+    std::vector<double> crossover_loads;
+    for (double load = 0.30; load <= 1.0; load += 0.02)
+        crossover_loads.push_back(load);
+    for (double load : crossover_loads)
+        configs.push_back(colo::makeColoConfig(
+            kind, {"canneal"}, core::RuntimeKind::Precise, 37, load));
+
+    driver::SweepOptions sweep;
+    sweep.label = "fig8-" + services::serviceName(kind);
+    const auto results = colo::runColocations(configs, sweep);
+
     util::TextTable t({"app", "load", "QPS", "pliant p99/QoS",
                        "rel exec", "inaccuracy", "cores"});
+    std::size_t cell = 0;
     for (const char *app : kApps) {
-        for (double load : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
-            const auto r = colo::runColocation(
-                kind, {app}, core::RuntimeKind::Pliant, 37, load);
+        for (double load : kLoads) {
+            const colo::ColoResult &r = results[cell++];
             t.addRow({app, util::fmtPct(load, 0), qpsLabel(kind, load),
                       util::fmt(r.meanIntervalP99Us / r.qosUs, 2) + "x",
                       util::fmt(r.apps[0].relativeExecTime, 2),
@@ -51,12 +74,9 @@ sweepService(services::ServiceKind kind)
     }
     t.print(std::cout);
 
-    // Precise-only crossover: the highest load at which QoS is still
-    // met with a precise co-runner (canneal, the toughest one).
     double crossover = 0.0;
-    for (double load = 0.30; load <= 1.0; load += 0.02) {
-        const auto r = colo::runColocation(
-            kind, {"canneal"}, core::RuntimeKind::Precise, 37, load);
+    for (double load : crossover_loads) {
+        const colo::ColoResult &r = results[cell++];
         if (r.steadyP99Us <= r.qosUs)
             crossover = load;
     }

@@ -2,11 +2,12 @@
  * @file
  * Figure 9: sensitivity to Pliant's decision interval (0.2 s - 8 s),
  * for memcached colocated with the six PARSEC/SPLASH-2 applications.
+ * The whole grid runs as one batch through the experiment driver.
  */
 
 #include <iostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/table.hh"
 
 using namespace pliant;
@@ -22,8 +23,7 @@ main()
     const double intervals_s[] = {0.2, 0.5, 1.0, 2.0,
                                   3.0, 4.0, 6.0, 8.0};
 
-    util::TextTable t({"app", "interval", "p99/QoS", "met%",
-                       "rel exec", "inaccuracy", "switches"});
+    std::vector<colo::ColoConfig> configs;
     for (const char *app : apps) {
         for (double s : intervals_s) {
             colo::ColoConfig cfg;
@@ -32,8 +32,19 @@ main()
             cfg.runtime = core::RuntimeKind::Pliant;
             cfg.decisionInterval = sim::fromSeconds(s);
             cfg.seed = 43;
-            colo::ColocationExperiment exp(cfg);
-            const colo::ColoResult r = exp.run();
+            configs.push_back(cfg);
+        }
+    }
+    driver::SweepOptions sweep;
+    sweep.label = "fig9";
+    const auto results = colo::runColocations(configs, sweep);
+
+    util::TextTable t({"app", "interval", "p99/QoS", "met%",
+                       "rel exec", "inaccuracy", "switches"});
+    std::size_t cell = 0;
+    for (const char *app : apps) {
+        for (double s : intervals_s) {
+            const colo::ColoResult &r = results[cell++];
             t.addRow({app, util::fmt(s, 1) + "s",
                       util::fmt(r.steadyP99Us / r.qosUs, 2) + "x",
                       util::fmtPct(r.qosMetFraction, 0),

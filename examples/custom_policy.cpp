@@ -13,7 +13,7 @@
 #include <iostream>
 #include <memory>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "core/actuator.hh"
 #include "core/runtime.hh"
 #include "util/table.hh"
@@ -29,20 +29,27 @@ using namespace pliant;
 class GradualRuntime : public core::Runtime
 {
   public:
+    // Keep the base's single-service (p99, qos) shorthand visible
+    // next to the vector override.
+    using core::Runtime::onInterval;
+
     explicit GradualRuntime(core::Actuator &actuator) : act(actuator) {}
 
     core::Decision
-    onInterval(double p99_us, double qos_us) override
+    onInterval(const std::vector<core::ServiceReport> &svcs) override
     {
+        // The multi-service contract: act on the most violated
+        // tenant's normalized tail (any service above QoS counts).
+        const double ratio = core::worstRatio(svcs);
         for (int t = 0; t < act.taskCount(); ++t) {
             if (act.taskFinished(t))
                 continue;
             const int v = act.variantOf(t);
-            if (p99_us > qos_us && v < act.mostApproxOf(t)) {
+            if (ratio > 1.0 && v < act.mostApproxOf(t)) {
                 act.switchVariant(t, v + 1);
                 return {core::Decision::Kind::SwitchToMost, t};
             }
-            if (p99_us < 0.9 * qos_us && v > 0) {
+            if (ratio < 0.9 && v > 0) {
                 act.switchVariant(t, v - 1);
                 return {core::Decision::Kind::StepDown, t};
             }
@@ -57,7 +64,7 @@ class GradualRuntime : public core::Runtime
 };
 
 /**
- * Minimal harness mirroring ColocationExperiment's wiring but with a
+ * Minimal harness mirroring Engine's wiring but with a
  * caller-supplied runtime, to show the pieces are freely composable.
  */
 colo::ColoResult
@@ -70,7 +77,7 @@ runGradual(services::ServiceKind kind, const std::string &app)
     cfg.apps = {app};
     cfg.runtime = core::RuntimeKind::Pliant;
     cfg.seed = 555;
-    colo::ColocationExperiment exp(cfg);
+    colo::Engine exp(cfg);
     return exp.run();
 }
 

@@ -5,20 +5,27 @@
  *
  * Usage:
  *   pliant_cli [--service nginx|memcached|mongodb]
+ *              [--services nginx,memcached,...]
+ *              [--scenario constant|diurnal|flash|step]
  *              [--apps canneal,bayesian,...]
  *              [--runtime precise|pliant|learned]
  *              [--load 0.78] [--interval-s 1.0] [--seed 1]
  *              [--cache-partitioning] [--csv timeline|summary]
  *              [--list-apps]
+ *
+ * --services runs a multi-service colocation (one tenant per listed
+ * service); --scenario applies the named deterministic load pattern
+ * (default parameters, around --load) to every tenant.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "colo/trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -33,11 +40,46 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--service nginx|memcached|mongodb]"
+           " [--services a,b,...]"
+           " [--scenario constant|diurnal|flash|step]"
            " [--apps a,b,...] [--runtime precise|pliant|learned]"
            " [--load F] [--interval-s S] [--seed N]"
            " [--cache-partitioning] [--csv timeline|summary]"
            " [--list-apps]\n";
     std::exit(2);
+}
+
+services::ServiceKind
+parseService(const std::string &s, const char *argv0)
+{
+    if (s == "nginx")
+        return services::ServiceKind::Nginx;
+    if (s == "memcached")
+        return services::ServiceKind::Memcached;
+    if (s == "mongodb")
+        return services::ServiceKind::MongoDb;
+    usage(argv0);
+}
+
+/** Named scenario preset with default excursion parameters. */
+colo::Scenario
+parseScenario(const std::string &s, double base, const char *argv0)
+{
+    const sim::Time sec = sim::kSecond;
+    if (s == "constant")
+        return colo::Scenario::constant(base);
+    if (s == "diurnal")
+        return colo::Scenario::diurnal(base, 0.25, 240 * sec);
+    if (s == "flash")
+        // The crowd must always be an upward excursion, even when
+        // --load already sits near saturation.
+        return colo::Scenario::flashCrowd(
+            base, std::max(0.95, base + 0.15), 60 * sec, 5 * sec,
+            30 * sec, 20 * sec);
+    if (s == "step")
+        return colo::Scenario::step(base, std::min(base + 0.2, 1.0),
+                                    60 * sec);
+    usage(argv0);
 }
 
 std::vector<std::string>
@@ -60,6 +102,8 @@ main(int argc, char **argv)
     colo::ColoConfig cfg;
     cfg.apps = {"canneal"};
     std::string csv_mode;
+    std::vector<services::ServiceKind> multi;
+    std::string scenario = "constant";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -69,15 +113,12 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--service") {
-            const std::string s = next();
-            if (s == "nginx")
-                cfg.service = services::ServiceKind::Nginx;
-            else if (s == "memcached")
-                cfg.service = services::ServiceKind::Memcached;
-            else if (s == "mongodb")
-                cfg.service = services::ServiceKind::MongoDb;
-            else
-                usage(argv[0]);
+            cfg.service = parseService(next(), argv[0]);
+        } else if (arg == "--services") {
+            for (const auto &name : splitCsvList(next()))
+                multi.push_back(parseService(name, argv[0]));
+        } else if (arg == "--scenario") {
+            scenario = next();
         } else if (arg == "--apps") {
             cfg.apps = splitCsvList(next());
         } else if (arg == "--runtime") {
@@ -109,8 +150,23 @@ main(int argc, char **argv)
         }
     }
 
+    // Assemble the tenant list when multi-service or a non-constant
+    // scenario was requested; otherwise keep the legacy single-service
+    // fields (bit-identical to the original harness).
+    if (!multi.empty() || scenario != "constant") {
+        if (multi.empty())
+            multi.push_back(cfg.service);
+        for (auto kind : multi) {
+            colo::ServiceSpec spec;
+            spec.kind = kind;
+            spec.scenario =
+                parseScenario(scenario, cfg.loadFraction, argv[0]);
+            cfg.services.push_back(spec);
+        }
+    }
+
     try {
-        colo::ColocationExperiment exp(cfg);
+        colo::Engine exp(cfg);
         const colo::ColoResult r = exp.run();
 
         if (csv_mode == "timeline") {
@@ -139,6 +195,14 @@ main(int argc, char **argv)
                       std::to_string(r.typicalCoresReclaimed)});
         t.addRow({"LLC ways isolated (max)",
                   std::to_string(r.maxPartitionWays)});
+        for (std::size_t s = 1; s < r.services.size(); ++s) {
+            const auto &svc = r.services[s];
+            t.addRow({svc.name + " p99 / QoS",
+                      util::fmt(svc.meanIntervalP99Us / svc.qosUs, 2) +
+                          "x"});
+            t.addRow({svc.name + " intervals meeting QoS",
+                      util::fmtPct(svc.qosMetFraction, 0)});
+        }
         for (const auto &app : r.apps) {
             t.addRow({app.name + " inaccuracy",
                       util::fmtPct(app.inaccuracy, 2)});

@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "util/table.hh"
 
 int

@@ -1,0 +1,525 @@
+#include "colo/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "approx/profile.hh"
+#include "core/learned.hh"
+#include "util/logging.hh"
+
+namespace pliant {
+namespace colo {
+
+namespace {
+
+/** Golden-ratio stream salt so tenant i gets independent seeds. */
+std::uint64_t
+tenantSalt(std::size_t i)
+{
+    return static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+}
+
+} // namespace
+
+/**
+ * Binds the runtime's abstract actuation to the engine's tasks and
+ * services: variant switches forward to the task (modeling the
+ * signal -> drwrap_replace path), and core moves re-pin one physical
+ * core between a task's container and a service's container. With
+ * several services, reclaimed cores flow to the *focus* service (the
+ * most QoS-pressured one at the last interval close) and are debited
+ * back from whichever service holds granted cores when the runtime
+ * reverts.
+ */
+class Engine::ServerActuator : public core::Actuator
+{
+  public:
+    ServerActuator(std::vector<approx::ApproxTask> &tasks_in,
+                   std::vector<Tenant> &tenants_in,
+                   server::CachePartition &partition_in)
+        : tasks(tasks_in), tenants(tenants_in), part(partition_in),
+          granted(tenants_in.size(), 0)
+    {
+    }
+
+    /** Service that receives newly reclaimed cores. */
+    void
+    setFocusService(std::size_t s)
+    {
+        focus = s;
+    }
+
+    bool growServicePartition() override { return part.grow(); }
+    bool shrinkServicePartition() override { return part.shrink(); }
+    int servicePartitionWays() const override
+    {
+        return part.serviceWays();
+    }
+
+    int taskCount() const override
+    {
+        return static_cast<int>(tasks.size());
+    }
+
+    bool taskFinished(int t) const override
+    {
+        return tasks[idx(t)].finished();
+    }
+
+    int variantOf(int t) const override
+    {
+        return tasks[idx(t)].variantIndex();
+    }
+
+    int mostApproxOf(int t) const override
+    {
+        return tasks[idx(t)].profile().mostApproxIndex();
+    }
+
+    void switchVariant(int t, int v) override
+    {
+        tasks[idx(t)].switchVariant(v);
+    }
+
+    bool reclaimCore(int t) override
+    {
+        if (!tasks[idx(t)].yieldCore())
+            return false;
+        auto &svc = *tenants[focus].service;
+        svc.setCores(svc.cores() + 1);
+        ++granted[focus];
+        return true;
+    }
+
+    bool returnCore(int t) override
+    {
+        if (!tasks[idx(t)].reclaimCore())
+            return false;
+        // Debit the focus service first; otherwise any service still
+        // holding granted cores (core conservation guarantees one
+        // exists whenever a task has cores to take back).
+        std::size_t donor = focus;
+        if (granted[donor] == 0) {
+            for (std::size_t s = 0; s < granted.size(); ++s) {
+                if (granted[s] > 0) {
+                    donor = s;
+                    break;
+                }
+            }
+        }
+        auto &svc = *tenants[donor].service;
+        svc.setCores(svc.cores() - 1);
+        --granted[donor];
+        return true;
+    }
+
+    int reclaimedFrom(int t) const override
+    {
+        return tasks[idx(t)].fairCores() - tasks[idx(t)].cores();
+    }
+
+    double reliefPotential(int t) const override
+    {
+        const auto &task = tasks[idx(t)];
+        const auto &prof = task.profile();
+        const auto &most = prof.variant(prof.mostApproxIndex());
+        const auto &cur = prof.variant(task.variantIndex());
+        const double llc_drop =
+            prof.precisePressure.llcMb * (cur.llcScale - most.llcScale);
+        const double bw_drop = prof.precisePressure.membwGbs *
+                               (cur.membwScale - most.membwScale);
+        return std::max(llc_drop + bw_drop, 0.0);
+    }
+
+    double qualityCost(int t) const override
+    {
+        const auto &prof = tasks[idx(t)].profile();
+        const auto &most = prof.variant(prof.mostApproxIndex());
+        const auto &cur = prof.variant(tasks[idx(t)].variantIndex());
+        return std::max(most.inaccuracy - cur.inaccuracy, 0.0);
+    }
+
+  private:
+    static std::size_t
+    idx(int t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+
+    std::vector<approx::ApproxTask> &tasks;
+    std::vector<Tenant> &tenants;
+    server::CachePartition &part;
+    std::vector<int> granted;
+    std::size_t focus = 0;
+};
+
+int
+Engine::fairShare(const server::ServerSpec &spec, int n_apps)
+{
+    return fairShare(spec, n_apps, 1);
+}
+
+int
+Engine::fairShare(const server::ServerSpec &spec, int n_apps,
+                  int n_services)
+{
+    return std::max(1, spec.usableCores() / (n_apps + n_services));
+}
+
+Engine::Engine(ColoConfig config)
+    : cfg(std::move(config)), interference(cfg.spec),
+      partition(cfg.spec, 0)
+{
+    if (cfg.apps.empty())
+        util::fatal("colocation experiment needs at least one app");
+    for (std::size_t i = 0; i < cfg.apps.size(); ++i)
+        for (std::size_t j = i + 1; j < cfg.apps.size(); ++j)
+            if (cfg.apps[i] == cfg.apps[j])
+                util::fatal("duplicate app '", cfg.apps[i],
+                            "' in colocation config: each approximate "
+                            "application may appear once");
+    if (!cfg.initialVariants.empty() &&
+        cfg.initialVariants.size() != cfg.apps.size())
+        util::fatal("initialVariants must be empty or match apps");
+
+    // Normalize the tenant list: the legacy single-service fields
+    // become one constant-load tenant, bit-identical to the original
+    // single-service harness.
+    std::vector<ServiceSpec> specs = cfg.services;
+    if (specs.empty()) {
+        ServiceSpec s;
+        s.kind = cfg.service;
+        s.scenario = Scenario::constant(cfg.loadFraction);
+        specs.push_back(s);
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t j = i + 1; j < specs.size(); ++j)
+            if (specs[i].kind == specs[j].kind)
+                util::fatal("duplicate service '",
+                            services::serviceName(specs[i].kind),
+                            "' in colocation config: each interactive "
+                            "service may appear once");
+
+    const int n_apps = static_cast<int>(cfg.apps.size());
+    const int n_services = static_cast<int>(specs.size());
+    appFairCores = fairShare(cfg.spec, n_apps, n_services);
+    const int service_cores =
+        cfg.spec.usableCores() - n_apps * appFairCores;
+    if (service_cores < n_services)
+        util::fatal("config leaves ", service_cores,
+                    " fair cores for ", n_services,
+                    " interactive service(s): reduce the number of "
+                    "colocated apps or services (usable cores: ",
+                    cfg.spec.usableCores(), ")");
+
+    const int base_cores = service_cores / n_services;
+    const int extra = service_cores % n_services;
+    tenants.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        Tenant t;
+        t.spec = specs[i];
+        t.fairCores = base_cores + (static_cast<int>(i) < extra ? 1 : 0);
+
+        services::ServiceConfig scfg =
+            services::defaultConfig(t.spec.kind);
+        scfg.fairCores = t.fairCores;
+        services::WorkloadConfig wl;
+        wl.loadFraction = t.spec.scenario.loadAt(0);
+        t.service = std::make_unique<services::InteractiveService>(
+            scfg, wl, cfg.seed ^ 0x51 ^ tenantSalt(i));
+        t.monitor = std::make_unique<core::PerformanceMonitor>(
+            4096, cfg.seed ^ 0x30 ^ tenantSalt(i));
+        tenants.push_back(std::move(t));
+    }
+
+    // The precise baseline runs natively (no recompilation runtime),
+    // so it pays no instrumentation overhead. Note: each profile
+    // already carries its measured dynrec overhead (applied by
+    // ApproxTask to execution progress), so no separate
+    // dynrec::OverheadModel instance is constructed here — the one
+    // the old harness created was never wired in, and adding it on
+    // top of the per-profile factor would double-count.
+    std::uint64_t task_seed = cfg.seed ^ 0x7a;
+    for (const std::string &name : cfg.apps) {
+        approx::AppProfile prof = approx::findProfile(name);
+        if (cfg.runtime == core::RuntimeKind::Precise)
+            prof.dynrecOverhead = 0.0;
+        profiles.push_back(prof);
+    }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        tasks.emplace_back(profiles[i], appFairCores, task_seed++);
+        if (!cfg.initialVariants.empty())
+            tasks.back().switchVariant(cfg.initialVariants[i]);
+    }
+
+    actuator =
+        std::make_unique<ServerActuator>(tasks, tenants, partition);
+    if (cfg.runtime == core::RuntimeKind::Pliant) {
+        core::RuntimeParams rp;
+        rp.slackThreshold = cfg.slackThreshold;
+        rp.arbiter = cfg.arbiter;
+        rp.enableCachePartitioning = cfg.enableCachePartitioning;
+        runtime = std::make_unique<core::PliantRuntime>(
+            *actuator, rp, cfg.seed ^ 0x91);
+    } else if (cfg.runtime == core::RuntimeKind::Learned) {
+        runtime = std::make_unique<core::LearnedRuntime>(
+            *actuator, core::LearnedParams{}, cfg.seed ^ 0x91);
+    } else {
+        runtime = std::make_unique<core::PreciseRuntime>();
+    }
+}
+
+Engine::~Engine() = default;
+
+ColoResult
+Engine::run()
+{
+    ColoResult result;
+    result.service = tenants[0].service->name();
+    result.runtime = runtime->name();
+    result.qosUs = tenants[0].service->qosUs();
+
+    sim::Clock clock(cfg.tick);
+    sim::Time next_decision = cfg.decisionInterval;
+    const sim::Time warmup = 5 * sim::kSecond;
+    int total_intervals = 0;
+
+    std::vector<int> max_reclaimed(tasks.size(), 0);
+
+    // Hot-loop buffers, allocated once: at 10 ms ticks a 600 s run is
+    // 60k iterations, so per-tick vector churn dominated the old
+    // harness's profile.
+    std::vector<approx::PressureVector> task_pressure(tasks.size());
+    std::vector<approx::PressureVector> svc_pressure(tenants.size());
+    std::vector<approx::PressureVector> peer_pressure;
+    peer_pressure.reserve(tenants.size());
+    std::vector<double> inflation(tenants.size(), 1.0);
+    std::vector<core::ServiceReport> reports(tenants.size());
+
+    const auto allFinished = [&]() {
+        for (const auto &t : tasks)
+            if (!t.finished())
+                return false;
+        return true;
+    };
+
+    while (!allFinished() && clock.now() < cfg.maxDuration) {
+        const sim::Time tick_start = clock.now();
+
+        // 0. Scenario layer: re-target every tenant's mean load.
+        for (auto &ten : tenants)
+            ten.service->setBaseLoad(
+                ten.spec.scenario.loadAt(tick_start));
+
+        // 1. Gather pressures and compute the inflation each service
+        //    experiences this tick. A service's co-runners are every
+        //    approximate task plus every *other* service.
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            task_pressure[i] = tasks[i].currentPressure();
+        for (std::size_t s = 0; s < tenants.size(); ++s)
+            svc_pressure[s] = tenants[s].service->currentPressure();
+        for (std::size_t s = 0; s < tenants.size(); ++s) {
+            peer_pressure.clear();
+            for (std::size_t o = 0; o < tenants.size(); ++o)
+                if (o != s)
+                    peer_pressure.push_back(svc_pressure[o]);
+            const auto contention = interference.contentionMulti(
+                svc_pressure[s], peer_pressure, task_pressure,
+                partition);
+            inflation[s] = interference.inflation(
+                contention, tenants[s].service->config().sensitivity);
+        }
+
+        // 2. Advance the services and the approximate tasks.
+        for (std::size_t s = 0; s < tenants.size(); ++s) {
+            auto &ten = tenants[s];
+            ten.service->tick(cfg.tick, inflation[s], ten.tickBuf);
+            ten.monitor->observe(ten.tickBuf.sampleUs);
+            if (tick_start >= warmup) {
+                for (double sample : ten.tickBuf.sampleUs)
+                    ten.steady.add(sample);
+            }
+            ten.lastLoad = ten.tickBuf.offeredLoad;
+        }
+        for (auto &t : tasks)
+            t.tick(cfg.tick);
+
+        const sim::Time now = clock.advance();
+
+        // 3. Decision interval boundary: close every monitoring
+        //    window and let the runtime act on the joint report.
+        if (now >= next_decision) {
+            next_decision += cfg.decisionInterval;
+            ++total_intervals;
+            std::size_t focus = 0;
+            double worst = -1.0;
+            for (std::size_t s = 0; s < tenants.size(); ++s) {
+                auto &ten = tenants[s];
+                reports[s].interval = ten.monitor->closeInterval();
+                reports[s].qosUs = ten.service->qosUs();
+                if (reports[s].interval.p99Us <= reports[s].qosUs)
+                    ++ten.qosMetIntervals;
+                if (reports[s].ratio() > worst) {
+                    worst = reports[s].ratio();
+                    focus = s;
+                }
+            }
+            actuator->setFocusService(focus);
+            const core::Decision decision =
+                runtime->onInterval(reports);
+
+            TimePoint tp;
+            tp.t = now;
+            tp.p99Us = reports[0].interval.p99Us;
+            tp.loadFraction = tenants[0].lastLoad;
+            tp.services.reserve(tenants.size());
+            for (std::size_t s = 0; s < tenants.size(); ++s)
+                tp.services.push_back({reports[s].interval.p99Us,
+                                       tenants[s].lastLoad});
+            tp.partitionWays = partition.serviceWays();
+            tp.decision = decision;
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                tp.variantOf.push_back(tasks[i].variantIndex());
+                const int reclaimed =
+                    tasks[i].fairCores() - tasks[i].cores();
+                tp.reclaimed.push_back(reclaimed);
+                max_reclaimed[i] = std::max(max_reclaimed[i], reclaimed);
+            }
+            result.timeline.push_back(std::move(tp));
+        }
+    }
+
+    // Per-service summaries; [0] mirrors into the scalar fields.
+    for (std::size_t s = 0; s < tenants.size(); ++s) {
+        auto &ten = tenants[s];
+        ServiceOutcome out;
+        out.name = ten.service->name();
+        out.qosUs = ten.service->qosUs();
+        out.overallP99Us = ten.monitor->longRunP99();
+        out.steadyP99Us = ten.steady.value();
+
+        double sum_p99 = 0.0;
+        std::size_t n_intervals = 0;
+        for (const auto &tp : result.timeline) {
+            if (tp.t <= warmup)
+                continue; // control loop still converging
+            sum_p99 += tp.services[s].p99Us;
+            ++n_intervals;
+        }
+        // Fall back to the full timeline for very short runs.
+        if (n_intervals == 0) {
+            for (const auto &tp : result.timeline) {
+                sum_p99 += tp.services[s].p99Us;
+                ++n_intervals;
+            }
+        }
+        out.meanIntervalP99Us = n_intervals == 0
+            ? 0.0
+            : sum_p99 / static_cast<double>(n_intervals);
+        out.qosMetFraction = total_intervals == 0
+            ? 0.0
+            : static_cast<double>(ten.qosMetIntervals) /
+                  static_cast<double>(total_intervals);
+        result.services.push_back(std::move(out));
+    }
+    result.overallP99Us = result.services[0].overallP99Us;
+    result.steadyP99Us = result.services[0].steadyP99Us;
+    result.meanIntervalP99Us = result.services[0].meanIntervalP99Us;
+    result.qosMetFraction = result.services[0].qosMetFraction;
+
+    int max_total = 0;
+    std::vector<double> totals_post_warmup;
+    for (const auto &tp : result.timeline) {
+        int total = 0;
+        for (int r : tp.reclaimed)
+            total += r;
+        max_total = std::max(max_total, total);
+        if (tp.t > warmup)
+            totals_post_warmup.push_back(total);
+    }
+    result.maxCoresReclaimedTotal = max_total;
+    result.approximationAloneSufficed = max_total == 0;
+    for (const auto &tp : result.timeline)
+        result.maxPartitionWays =
+            std::max(result.maxPartitionWays, tp.partitionWays);
+    if (!totals_post_warmup.empty()) {
+        util::PercentileWindow pw;
+        for (double t : totals_post_warmup)
+            pw.add(t);
+        result.typicalCoresReclaimed =
+            static_cast<int>(std::lround(pw.percentile(60.0)));
+    }
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        AppOutcome out;
+        out.name = tasks[i].profile().name;
+        out.finished = tasks[i].finished();
+        out.relativeExecTime = tasks[i].relativeExecTime();
+        out.inaccuracy = tasks[i].inaccuracy();
+        out.switches = tasks[i].switchCount();
+        out.dynrecOverhead = tasks[i].profile().dynrecOverhead;
+        out.maxCoresReclaimed = max_reclaimed[i];
+        result.apps.push_back(std::move(out));
+    }
+    return result;
+}
+
+ColoResult
+runColocation(services::ServiceKind service,
+              const std::vector<std::string> &apps,
+              core::RuntimeKind runtime, std::uint64_t seed,
+              double load_fraction)
+{
+    Engine engine(
+        makeColoConfig(service, apps, runtime, seed, load_fraction));
+    return engine.run();
+}
+
+ColoConfig
+makeColoConfig(services::ServiceKind service,
+               const std::vector<std::string> &apps,
+               core::RuntimeKind runtime, std::uint64_t seed,
+               double load_fraction)
+{
+    ColoConfig cfg;
+    cfg.service = service;
+    cfg.apps = apps;
+    cfg.runtime = runtime;
+    cfg.seed = seed;
+    cfg.loadFraction = load_fraction;
+    return cfg;
+}
+
+ColoConfig
+makeMultiServiceConfig(std::vector<ServiceSpec> services,
+                       const std::vector<std::string> &apps,
+                       core::RuntimeKind runtime, std::uint64_t seed)
+{
+    ColoConfig cfg;
+    cfg.services = std::move(services);
+    cfg.apps = apps;
+    cfg.runtime = runtime;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<ColoResult>
+runColocations(const std::vector<ColoConfig> &configs,
+               const driver::SweepOptions &sweep_opts)
+{
+    driver::Sweep sweep(sweep_opts);
+    util::inform("colo: running ", configs.size(),
+                 " experiments on ", sweep.threadCount(), " threads");
+    return sweep.mapItems(
+        configs,
+        [](const ColoConfig &cfg, const driver::TaskContext &) {
+            // The config's own seed governs the experiment; the task
+            // seed is deliberately unused so a batch equals the same
+            // configs run one by one.
+            Engine engine(cfg);
+            return engine.run();
+        });
+}
+
+} // namespace colo
+} // namespace pliant

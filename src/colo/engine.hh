@@ -1,20 +1,30 @@
 /**
  * @file
- * Colocation experiment harness: wires the simulated server, one
- * interactive service, N approximate applications, the performance
- * monitor, and a runtime (Precise baseline or Pliant) into one
- * deterministic experiment, and records the time series and summary
- * statistics every evaluation figure is built from.
+ * The colocation engine: a composable simulate-measure-decide loop
+ * over a generic set of tenants — N latency-critical interactive
+ * services (each with its own QoS target, performance monitor, and
+ * deterministic load scenario) colocated with M approximate
+ * applications on one simulated server, under a runtime (Precise
+ * baseline, Pliant, or Learned) that actuates approximation, core
+ * reclamation, and optional LLC way partitioning.
+ *
+ * The engine owns the tick loop the original single-service
+ * experiment harness hard-wired; every evaluation figure, the
+ * examples, and the multi-service scenario sweeps now run through
+ * it. A ColoConfig with an empty `services` list reproduces the
+ * paper's setup (one service at a constant offered load)
+ * bit-for-bit.
  */
 
-#ifndef PLIANT_COLO_EXPERIMENT_HH
-#define PLIANT_COLO_EXPERIMENT_HH
+#ifndef PLIANT_COLO_ENGINE_HH
+#define PLIANT_COLO_ENGINE_HH
 
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "approx/task.hh"
+#include "colo/scenario.hh"
 #include "core/actuator.hh"
 #include "core/monitor.hh"
 #include "core/runtime.hh"
@@ -24,23 +34,46 @@
 #include "server/spec.hh"
 #include "services/interactive.hh"
 #include "sim/clock.hh"
+#include "util/stats.hh"
 
 namespace pliant {
 namespace colo {
 
+/** One latency-critical tenant of a colocation. */
+struct ServiceSpec
+{
+    services::ServiceKind kind = services::ServiceKind::Memcached;
+
+    /** Deterministic load trace driving this service. */
+    Scenario scenario;
+};
+
 /** Experiment configuration. */
 struct ColoConfig
 {
+    /**
+     * Legacy single-service fields: used only when `services` is
+     * empty, in which case the engine runs one `service` tenant at a
+     * constant `loadFraction` — exactly the paper's setup.
+     */
     services::ServiceKind service = services::ServiceKind::Memcached;
+
+    /** Offered load as a fraction of the service's saturation. */
+    double loadFraction = 0.78;
+
+    /**
+     * The tenant list. When non-empty it overrides
+     * `service`/`loadFraction`; duplicate service kinds are
+     * rejected (their monitors and QoS targets would be
+     * indistinguishable in reports and traces).
+     */
+    std::vector<ServiceSpec> services;
 
     /** Catalog names of the colocated approximate applications. */
     std::vector<std::string> apps;
 
     core::RuntimeKind runtime = core::RuntimeKind::Pliant;
     core::ArbiterKind arbiter = core::ArbiterKind::RoundRobin;
-
-    /** Offered load as a fraction of the service's saturation. */
-    double loadFraction = 0.78;
 
     /** Pliant decision interval (paper default: 1 s). */
     sim::Time decisionInterval = sim::kSecond;
@@ -67,20 +100,28 @@ struct ColoConfig
 
     /**
      * Section 6.5 extension: let the runtime isolate LLC ways for
-     * the interactive service before reclaiming cores.
+     * the interactive services before reclaiming cores.
      */
     bool enableCachePartitioning = false;
+};
+
+/** One service's slice of a sampled timeline point. */
+struct ServicePoint
+{
+    double p99Us = 0.0;
+    double loadFraction = 0.0;
 };
 
 /** One sampled point of the experiment time series. */
 struct TimePoint
 {
     sim::Time t = 0;
-    double p99Us = 0.0;       ///< interval tail latency
-    double loadFraction = 0.0;
+    double p99Us = 0.0;       ///< primary service's interval tail
+    double loadFraction = 0.0; ///< primary service's offered load
+    std::vector<ServicePoint> services; ///< per-service series
     std::vector<int> variantOf;  ///< per-app active variant
     std::vector<int> reclaimed;  ///< per-app cores reclaimed
-    int partitionWays = 0;       ///< LLC ways isolated for service
+    int partitionWays = 0;       ///< LLC ways isolated for services
     core::Decision decision;     ///< what the runtime did
 };
 
@@ -96,12 +137,23 @@ struct AppOutcome
     int maxCoresReclaimed = 0;
 };
 
+/** Per-service outcome. */
+struct ServiceOutcome
+{
+    std::string name;
+    double qosUs = 0.0;
+    double overallP99Us = 0.0;
+    double steadyP99Us = 0.0;
+    double meanIntervalP99Us = 0.0;
+    double qosMetFraction = 0.0;
+};
+
 /** Full experiment outcome. */
 struct ColoResult
 {
-    std::string service;
+    std::string service; ///< primary (first) service's name
     std::string runtime;
-    double qosUs = 0.0;
+    double qosUs = 0.0;  ///< primary service's QoS target
 
     /** Overall p99 across every request sample of the run. */
     double overallP99Us = 0.0;
@@ -109,21 +161,24 @@ struct ColoResult
     /**
      * p99 across samples after the control loop's warmup (the first
      * 5 seconds), i.e. the steady-state tail latency the paper's
-     * Fig. 5 bars report.
+     * Fig. 5 bars report. Primary service.
      */
     double steadyP99Us = 0.0;
 
-    /** Mean of the per-interval p99 estimates. */
+    /** Mean of the per-interval p99 estimates (primary service). */
     double meanIntervalP99Us = 0.0;
 
-    /** Fraction of decision intervals that met QoS. */
+    /** Fraction of decision intervals that met QoS (primary). */
     double qosMetFraction = 0.0;
+
+    /** Per-service summaries; [0] mirrors the scalar fields above. */
+    std::vector<ServiceOutcome> services;
 
     /** Max cores simultaneously reclaimed across all apps. */
     int maxCoresReclaimedTotal = 0;
 
     /**
-     * Cores the service needed in a *sustained* way: the 60th
+     * Cores the services needed in a *sustained* way: the 60th
      * percentile of the per-interval total reclaimed count after
      * warmup. Brief burst-driven reclaims that are returned within
      * an interval or two do not register here (this is the statistic
@@ -134,7 +189,7 @@ struct ColoResult
     /** Whether approximation alone sufficed (no core ever taken). */
     bool approximationAloneSufficed = true;
 
-    /** Max LLC ways the runtime isolated for the service. */
+    /** Max LLC ways the runtime isolated for the services. */
     int maxPartitionWays = 0;
 
     std::vector<AppOutcome> apps;
@@ -142,38 +197,57 @@ struct ColoResult
 };
 
 /**
- * A single colocation run. Construct, then call run().
+ * The colocation engine: construct from a validated config, then
+ * call run() once. Fully deterministic given the config (seed
+ * included).
  */
-class ColocationExperiment
+class Engine
 {
   public:
-    explicit ColocationExperiment(ColoConfig cfg);
-    ~ColocationExperiment();
+    explicit Engine(ColoConfig cfg);
+    ~Engine();
 
-    ColocationExperiment(const ColocationExperiment &) = delete;
-    ColocationExperiment &operator=(const ColocationExperiment &) =
-        delete;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Execute the experiment to completion. */
     ColoResult run();
 
-    /** Fair core allocation per container for this config. */
+    /**
+     * Fair core allocation per app container with one interactive
+     * service (the paper's split).
+     */
     static int fairShare(const server::ServerSpec &spec, int n_apps);
+
+    /** Fair core allocation per app with n_services tenants. */
+    static int fairShare(const server::ServerSpec &spec, int n_apps,
+                         int n_services);
 
   private:
     class ServerActuator;
 
+    /** One interactive tenant's live state. */
+    struct Tenant
+    {
+        ServiceSpec spec;
+        std::unique_ptr<services::InteractiveService> service;
+        std::unique_ptr<core::PerformanceMonitor> monitor;
+        util::P2Quantile steady{0.99};
+        services::ServiceTickResult tickBuf; ///< reused every tick
+        double lastLoad = 0.0;
+        int qosMetIntervals = 0;
+        int fairCores = 0;
+    };
+
     ColoConfig cfg;
-    std::unique_ptr<services::InteractiveService> service;
+    std::vector<Tenant> tenants;
     /** Profile copies (dynrec overhead zeroed for the baseline). */
     std::vector<approx::AppProfile> profiles;
     std::vector<approx::ApproxTask> tasks;
     server::InterferenceModel interference;
     server::CachePartition partition;
-    core::PerformanceMonitor monitor;
     std::unique_ptr<ServerActuator> actuator;
     std::unique_ptr<core::Runtime> runtime;
-    int serviceFairCores = 0;
     int appFairCores = 0;
 };
 
@@ -210,7 +284,16 @@ ColoConfig makeColoConfig(services::ServiceKind service,
                           std::uint64_t seed = 1,
                           double load_fraction = 0.78);
 
+/**
+ * Build a multi-service config: one tenant per spec, shared app
+ * list, everything else defaulted.
+ */
+ColoConfig makeMultiServiceConfig(std::vector<ServiceSpec> services,
+                                  const std::vector<std::string> &apps,
+                                  core::RuntimeKind runtime,
+                                  std::uint64_t seed = 1);
+
 } // namespace colo
 } // namespace pliant
 
-#endif // PLIANT_COLO_EXPERIMENT_HH
+#endif // PLIANT_COLO_ENGINE_HH

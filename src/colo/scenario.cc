@@ -1,0 +1,117 @@
+#include "colo/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pliant {
+namespace colo {
+
+std::string
+scenarioName(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Constant:
+        return "constant";
+      case ScenarioKind::Diurnal:
+        return "diurnal";
+      case ScenarioKind::FlashCrowd:
+        return "flash-crowd";
+      case ScenarioKind::Step:
+        return "step";
+    }
+    return "unknown";
+}
+
+double
+Scenario::loadAt(sim::Time t) const
+{
+    switch (kind) {
+      case ScenarioKind::Constant:
+        return baseLoad;
+
+      case ScenarioKind::Diurnal: {
+        if (period <= 0)
+            return baseLoad;
+        const double phase = 2.0 * M_PI * sim::toSeconds(t) /
+                             sim::toSeconds(period);
+        return std::max(0.0,
+                        baseLoad * (1.0 + amplitude * std::sin(phase)));
+      }
+
+      case ScenarioKind::FlashCrowd: {
+        if (t < at)
+            return baseLoad;
+        sim::Time rel = t - at;
+        if (rel < ramp) {
+            const double f = static_cast<double>(rel) /
+                             static_cast<double>(std::max<sim::Time>(
+                                 ramp, 1));
+            return baseLoad + (peakLoad - baseLoad) * f;
+        }
+        rel -= ramp;
+        if (rel < hold)
+            return peakLoad;
+        rel -= hold;
+        if (rel < decay) {
+            const double f = static_cast<double>(rel) /
+                             static_cast<double>(std::max<sim::Time>(
+                                 decay, 1));
+            return peakLoad + (baseLoad - peakLoad) * f;
+        }
+        return baseLoad;
+      }
+
+      case ScenarioKind::Step:
+        return t < at ? baseLoad : peakLoad;
+    }
+    return baseLoad;
+}
+
+Scenario
+Scenario::constant(double load)
+{
+    Scenario s;
+    s.kind = ScenarioKind::Constant;
+    s.baseLoad = load;
+    return s;
+}
+
+Scenario
+Scenario::diurnal(double base, double amplitude, sim::Time period)
+{
+    Scenario s;
+    s.kind = ScenarioKind::Diurnal;
+    s.baseLoad = base;
+    s.amplitude = amplitude;
+    s.period = period;
+    return s;
+}
+
+Scenario
+Scenario::flashCrowd(double base, double peak, sim::Time at,
+                     sim::Time ramp, sim::Time hold, sim::Time decay)
+{
+    Scenario s;
+    s.kind = ScenarioKind::FlashCrowd;
+    s.baseLoad = base;
+    s.peakLoad = peak;
+    s.at = at;
+    s.ramp = ramp;
+    s.hold = hold;
+    s.decay = decay;
+    return s;
+}
+
+Scenario
+Scenario::step(double base, double level, sim::Time at)
+{
+    Scenario s;
+    s.kind = ScenarioKind::Step;
+    s.baseLoad = base;
+    s.peakLoad = level;
+    s.at = at;
+    return s;
+}
+
+} // namespace colo
+} // namespace pliant

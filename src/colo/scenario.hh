@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic load scenarios for colocation experiments.
+ *
+ * A Scenario is a pure function of simulated time that yields the
+ * *mean* offered load (as a fraction of a service's saturation
+ * throughput) at that instant. The engine re-targets each service's
+ * services::WorkloadGenerator with this value every tick, so the
+ * stochastic texture of real traffic (mean-reverting noise, short
+ * bursts) composes on top of the deterministic macro pattern.
+ *
+ * Four patterns cover the shapes datacenter consolidation studies
+ * care about:
+ *
+ *  - Constant:   the paper's fixed offered load,
+ *  - Diurnal:    a day/night sinusoid around the base load,
+ *  - FlashCrowd: base -> linear ramp -> peak hold -> linear decay,
+ *  - Step:       an abrupt, persistent change of the base load.
+ */
+
+#ifndef PLIANT_COLO_SCENARIO_HH
+#define PLIANT_COLO_SCENARIO_HH
+
+#include <string>
+
+#include "sim/time.hh"
+
+namespace pliant {
+namespace colo {
+
+/** The supported deterministic load patterns. */
+enum class ScenarioKind { Constant, Diurnal, FlashCrowd, Step };
+
+/** Printable name of a scenario kind. */
+std::string scenarioName(ScenarioKind kind);
+
+/**
+ * A deterministic load trace. Field relevance depends on `kind`;
+ * use the factory functions to build one without remembering which
+ * fields each pattern reads.
+ */
+struct Scenario
+{
+    ScenarioKind kind = ScenarioKind::Constant;
+
+    /** Mean offered load outside any excursion. */
+    double baseLoad = 0.78;
+
+    /** Diurnal: relative swing (load = base * (1 + a sin)). */
+    double amplitude = 0.25;
+
+    /** Diurnal: full day/night period. */
+    sim::Time period = 240 * sim::kSecond;
+
+    /** FlashCrowd / Step: when the excursion begins. */
+    sim::Time at = 60 * sim::kSecond;
+
+    /** FlashCrowd peak load; Step's post-step load. */
+    double peakLoad = 0.95;
+
+    /** FlashCrowd: base -> peak ramp duration. */
+    sim::Time ramp = 5 * sim::kSecond;
+
+    /** FlashCrowd: time spent at the peak. */
+    sim::Time hold = 30 * sim::kSecond;
+
+    /** FlashCrowd: peak -> base decay duration. */
+    sim::Time decay = 20 * sim::kSecond;
+
+    /**
+     * Mean offered-load fraction at simulated time t. Pure and
+     * deterministic: the same (scenario, t) always yields the same
+     * load, which is what keeps scenario-driven experiments
+     * reproducible at any sweep thread count.
+     */
+    double loadAt(sim::Time t) const;
+
+    static Scenario constant(double load);
+    static Scenario diurnal(double base, double amplitude,
+                            sim::Time period);
+    static Scenario flashCrowd(double base, double peak, sim::Time at,
+                               sim::Time ramp, sim::Time hold,
+                               sim::Time decay);
+    static Scenario step(double base, double level, sim::Time at);
+};
+
+} // namespace colo
+} // namespace pliant
+
+#endif // PLIANT_COLO_SCENARIO_HH

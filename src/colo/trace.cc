@@ -19,6 +19,10 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
         header.push_back(app.name + "_variant");
         header.push_back(app.name + "_reclaimed");
     }
+    for (std::size_t s = 1; s < result.services.size(); ++s) {
+        header.push_back(result.services[s].name + "_p99_us");
+        header.push_back(result.services[s].name + "_load");
+    }
     csv.writeRow(header);
 
     for (const auto &tp : result.timeline) {
@@ -32,6 +36,10 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
         for (std::size_t a = 0; a < result.apps.size(); ++a) {
             row.push_back(std::to_string(tp.variantOf[a]));
             row.push_back(std::to_string(tp.reclaimed[a]));
+        }
+        for (std::size_t s = 1; s < tp.services.size(); ++s) {
+            row.push_back(util::fmt(tp.services[s].p99Us, 1));
+            row.push_back(util::fmt(tp.services[s].loadFraction, 4));
         }
         csv.writeRow(row);
     }
@@ -56,15 +64,17 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
         apps += a.name;
     }
     const double n = static_cast<double>(result.apps.size());
-    csv.writeRow({result.service, result.runtime,
-                  util::fmt(result.qosUs, 1),
-                  util::fmt(result.steadyP99Us, 1),
-                  util::fmt(result.meanIntervalP99Us, 1),
-                  util::fmt(result.qosMetFraction, 4),
-                  std::to_string(result.maxCoresReclaimedTotal),
-                  std::to_string(result.typicalCoresReclaimed),
-                  std::to_string(result.maxPartitionWays), apps,
-                  util::fmt(inacc / n, 5), util::fmt(rel / n, 4)});
+    for (const auto &svc : result.services) {
+        csv.writeRow({svc.name, result.runtime,
+                      util::fmt(svc.qosUs, 1),
+                      util::fmt(svc.steadyP99Us, 1),
+                      util::fmt(svc.meanIntervalP99Us, 1),
+                      util::fmt(svc.qosMetFraction, 4),
+                      std::to_string(result.maxCoresReclaimedTotal),
+                      std::to_string(result.typicalCoresReclaimed),
+                      std::to_string(result.maxPartitionWays), apps,
+                      util::fmt(inacc / n, 5), util::fmt(rel / n, 4)});
+    }
 }
 
 } // namespace colo

@@ -10,7 +10,7 @@
 
 #include <ostream>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 
 namespace pliant {
 namespace colo {
@@ -18,12 +18,16 @@ namespace colo {
 /**
  * Write the per-interval timeline as CSV. Columns:
  * t_s, p99_us, p99_over_qos, load, decision, partition_ways,
- * then per app: <name>_variant, <name>_reclaimed.
+ * then per app: <name>_variant, <name>_reclaimed, and — for
+ * multi-service runs — per additional service: <name>_p99_us,
+ * <name>_load. The base p99/load columns always refer to the
+ * primary (first) service, so single-service traces are unchanged.
  */
 void writeTimelineCsv(std::ostream &os, const ColoResult &result);
 
 /**
- * Write the one-row experiment summary as CSV (with header).
+ * Write the experiment summary as CSV (with header): one row per
+ * interactive service, so a single-service run stays a single row.
  */
 void writeSummaryCsv(std::ostream &os, const ColoResult &result);
 

@@ -6,10 +6,11 @@
  * The runtime's decisions are exactly two kinds: switch an
  * approximate application's active variant (delivered as a virtual
  * signal trapped by the recompilation runtime) and move one core
- * between an approximate application and the interactive service.
- * Abstracting them behind this interface keeps the control algorithm
- * testable in isolation and lets the colocation harness bind it to
- * the simulated server.
+ * between an approximate application and an interactive service
+ * (with several services, the engine routes reclaimed cores to the
+ * most QoS-pressured one). Abstracting them behind this interface
+ * keeps the control algorithm testable in isolation and lets the
+ * colocation engine bind it to the simulated server.
  */
 
 #ifndef PLIANT_CORE_ACTUATOR_HH
@@ -21,8 +22,8 @@ namespace pliant {
 namespace core {
 
 /**
- * Abstract actuator over one interactive service and N approximate
- * applications.
+ * Abstract actuator over the interactive service(s) and N
+ * approximate applications of a colocation.
  */
 class Actuator
 {

@@ -17,8 +17,7 @@ LearnedRuntime::LearnedRuntime(Actuator &actuator, LearnedParams params,
     for (int t = 0; t < act.taskCount(); ++t) {
         const std::size_t variants =
             static_cast<std::size_t>(act.mostApproxOf(t)) + 1;
-        models[static_cast<std::size_t>(t)].latencyUs.assign(variants,
-                                                             0.0);
+        models[static_cast<std::size_t>(t)].ratio.assign(variants, 0.0);
         models[static_cast<std::size_t>(t)].samples.assign(variants, 0);
     }
     rrPointer = act.taskCount() > 0
@@ -31,7 +30,7 @@ double
 LearnedRuntime::estimate(int task, int variant) const
 {
     return models[static_cast<std::size_t>(task)]
-        .latencyUs[static_cast<std::size_t>(variant)];
+        .ratio[static_cast<std::size_t>(variant)];
 }
 
 bool
@@ -42,7 +41,7 @@ LearnedRuntime::explored(int task, int variant) const
 }
 
 void
-LearnedRuntime::observe(double p99_us)
+LearnedRuntime::observe(double ratio)
 {
     for (int t = 0; t < act.taskCount(); ++t) {
         if (act.taskFinished(t))
@@ -51,29 +50,30 @@ LearnedRuntime::observe(double p99_us)
         const std::size_t v =
             static_cast<std::size_t>(act.variantOf(t));
         if (model.samples[v] == 0)
-            model.latencyUs[v] = p99_us;
+            model.ratio[v] = ratio;
         else
-            model.latencyUs[v] = prm.alpha * p99_us +
-                                 (1.0 - prm.alpha) * model.latencyUs[v];
+            model.ratio[v] = prm.alpha * ratio +
+                             (1.0 - prm.alpha) * model.ratio[v];
         ++model.samples[v];
     }
 }
 
 Decision
-LearnedRuntime::onInterval(double p99_us, double qos_us)
+LearnedRuntime::onInterval(const std::vector<ServiceReport> &services)
 {
     ++intervalCount;
-    observe(p99_us);
+    const double ratio = worstRatio(services);
+    observe(ratio);
 
-    if (p99_us > qos_us) {
+    if (ratio > 1.0) {
         slackStreak = 0;
-        return escalate(qos_us);
+        return escalate();
     }
-    const double slack = 1.0 - p99_us / qos_us;
+    const double slack = 1.0 - ratio;
     if (slack > prm.slackThreshold) {
         if (++slackStreak >= prm.revertHysteresis) {
             slackStreak = 0;
-            return deescalate(qos_us);
+            return deescalate();
         }
     } else {
         slackStreak = 0;
@@ -82,9 +82,9 @@ LearnedRuntime::onInterval(double p99_us, double qos_us)
 }
 
 Decision
-LearnedRuntime::escalate(double qos_us)
+LearnedRuntime::escalate()
 {
-    const double target = (1.0 - prm.margin) * qos_us;
+    const double target = 1.0 - prm.margin;
     const int n = act.taskCount();
     for (int i = 0; i < n; ++i) {
         const int t = (rrPointer + i) % n;
@@ -131,9 +131,9 @@ LearnedRuntime::escalate(double qos_us)
 }
 
 Decision
-LearnedRuntime::deescalate(double qos_us)
+LearnedRuntime::deescalate()
 {
-    const double target = (1.0 - prm.margin) * qos_us;
+    const double target = 1.0 - prm.margin;
     const int n = act.taskCount();
 
     // Cores first, mirroring Pliant's revert ordering.

@@ -9,13 +9,14 @@
  * approximate versions at runtime. LearnedRuntime does exactly that:
  * it knows only *how many* variants each application exposes (the
  * signal numbers registered with the recompilation runtime), and
- * learns an EWMA estimate of the interactive service's tail latency
- * under each variant. Escalation probes unexplored variants
- * incrementally; once the map is learned, the controller jumps
- * directly to the least-approximate variant whose learned latency
- * clears QoS with margin, avoiding Pliant's deliberate
- * over-approximation (jump-to-most) at the cost of a longer
- * convergence phase.
+ * learns an EWMA estimate of the worst service's normalized tail
+ * pressure (p99/QoS, so heterogeneous tenants with microsecond and
+ * millisecond targets share one scale) under each variant.
+ * Escalation probes unexplored variants incrementally; once the map
+ * is learned, the controller jumps directly to the least-approximate
+ * variant whose learned pressure clears QoS with margin, avoiding
+ * Pliant's deliberate over-approximation (jump-to-most) at the cost
+ * of a longer convergence phase.
  *
  * Cross-application interactions are not modeled (each task's
  * estimate is conditioned only on its own variant) — the same
@@ -56,14 +57,21 @@ struct LearnedParams
 class LearnedRuntime : public Runtime
 {
   public:
+    using Runtime::onInterval;
+
     LearnedRuntime(Actuator &actuator, LearnedParams params,
                    std::uint64_t seed);
 
-    Decision onInterval(double p99_us, double qos_us) override;
+    Decision
+    onInterval(const std::vector<ServiceReport> &services) override;
 
     std::string name() const override { return "learned"; }
 
-    /** Learned latency estimate for task t at variant v (us). */
+    /**
+     * Learned tail-pressure estimate for task t at variant v: the
+     * EWMA of the worst service's p99/QoS ratio observed while the
+     * task ran at that variant (1.0 = exactly at QoS).
+     */
     double estimate(int task, int variant) const;
 
     /** Whether task t's variant v has been observed at least once. */
@@ -75,15 +83,15 @@ class LearnedRuntime : public Runtime
   private:
     struct TaskModel
     {
-        std::vector<double> latencyUs; ///< EWMA per variant
-        std::vector<int> samples;      ///< observations per variant
+        std::vector<double> ratio; ///< EWMA of p99/QoS per variant
+        std::vector<int> samples;  ///< observations per variant
     };
 
     /** Record the interval observation against active variants. */
-    void observe(double p99_us);
+    void observe(double ratio);
 
-    Decision escalate(double qos_us);
-    Decision deescalate(double qos_us);
+    Decision escalate();
+    Decision deescalate();
 
     Actuator &act;
     LearnedParams prm;

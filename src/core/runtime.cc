@@ -1,11 +1,30 @@
 #include "core/runtime.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/logging.hh"
 
 namespace pliant {
 namespace core {
+
+double
+worstRatio(const std::vector<ServiceReport> &services)
+{
+    double worst = 0.0;
+    for (const auto &svc : services)
+        worst = std::max(worst, svc.ratio());
+    return worst;
+}
+
+Decision
+Runtime::onInterval(double p99_us, double qos_us)
+{
+    std::vector<ServiceReport> one(1);
+    one[0].interval.p99Us = p99_us;
+    one[0].qosUs = qos_us;
+    return onInterval(one);
+}
 
 std::string
 decisionName(Decision::Kind kind)
@@ -46,23 +65,29 @@ PliantRuntime::PliantRuntime(Actuator &actuator, RuntimeParams params,
 }
 
 Decision
-PliantRuntime::onInterval(double p99_us, double qos_us)
+PliantRuntime::onInterval(const std::vector<ServiceReport> &services)
 {
     ++sinceRevert;
+    // The control signal is the *most violated* service's normalized
+    // tail: any tenant above its QoS puts the whole box in violation,
+    // and reverts need slack on every tenant at once. With a single
+    // service this degenerates to the paper's p99-vs-QoS comparison.
+    const double ratio = worstRatio(services);
+
     // Evaluate the outcome of a partition grow from the previous
     // interval: if latency did not improve meaningfully, growing the
     // partition is futile for this workload (the contention is not
     // LLC-bound) and the violation path falls through to cores.
-    if (p99AtLastGrow >= 0.0) {
-        if (p99_us > 0.97 * p99AtLastGrow)
+    if (ratioAtLastGrow >= 0.0) {
+        if (ratio > 0.97 * ratioAtLastGrow)
             ++futileGrows;
         else
             futileGrows = 0;
-        p99AtLastGrow = -1.0;
+        ratioAtLastGrow = -1.0;
     }
-    lastP99 = p99_us;
+    lastRatio = ratio;
 
-    if (p99_us > qos_us) {
+    if (ratio > 1.0) {
         ++violations;
         slackStreak = 0;
         metStreak = 0;
@@ -81,7 +106,7 @@ PliantRuntime::onInterval(double p99_us, double qos_us)
             std::max(prm.revertHysteresis, requiredStreak - 1);
     }
 
-    const double slack = 1.0 - p99_us / qos_us;
+    const double slack = 1.0 - ratio;
     if (slack > prm.slackThreshold) {
         if (++slackStreak >= requiredStreak) {
             slackStreak = 0;
@@ -199,7 +224,7 @@ PliantRuntime::actOnViolation()
     // the episode; core reclamation takes over).
     if (prm.enableCachePartitioning && futileGrows < 2 &&
         act.growServicePartition()) {
-        p99AtLastGrow = lastP99;
+        ratioAtLastGrow = lastRatio;
         return {Decision::Kind::GrowPartition, -1};
     }
 

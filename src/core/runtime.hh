@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/actuator.hh"
+#include "core/monitor.hh"
 #include "util/rng.hh"
 
 namespace pliant {
@@ -92,20 +93,52 @@ struct Decision
 std::string decisionName(Decision::Kind kind);
 
 /**
+ * What one latency-critical tenant looked like over the closing
+ * decision interval: the monitor's report plus the tenant's QoS
+ * target. Runtimes receive one of these per colocated service.
+ */
+struct ServiceReport
+{
+    IntervalReport interval;
+    double qosUs = 0.0;
+
+    /** Tail pressure normalized by the QoS target (1.0 = at QoS). */
+    double
+    ratio() const
+    {
+        return qosUs > 0.0 ? interval.p99Us / qosUs : 0.0;
+    }
+};
+
+/**
+ * The most violated service's p99/QoS ratio — the severity signal
+ * the control loops act on. A value above 1 means at least one
+ * service is in violation. Returns 0 for an empty vector.
+ */
+double worstRatio(const std::vector<ServiceReport> &services);
+
+/**
  * Base interface: a runtime is invoked once per decision interval
- * with the monitor's tail estimate.
+ * with one report per latency-critical service. A violation on ANY
+ * service must trigger the actuation path; reverts require slack on
+ * every service.
  */
 class Runtime
 {
   public:
     virtual ~Runtime() = default;
 
+    /** One decision-interval step over all services' reports. */
+    virtual Decision
+    onInterval(const std::vector<ServiceReport> &services) = 0;
+
     /**
-     * One decision-interval step.
-     * @param p99_us monitored tail latency of the interactive service.
-     * @param qos_us the service's QoS target.
+     * Single-service shorthand: wraps (p99, qos) into a one-entry
+     * report vector. Derived classes should `using
+     * Runtime::onInterval;` to keep it visible next to their
+     * override.
      */
-    virtual Decision onInterval(double p99_us, double qos_us) = 0;
+    Decision onInterval(double p99_us, double qos_us);
 
     virtual std::string name() const = 0;
 };
@@ -116,8 +149,10 @@ class Runtime
 class PreciseRuntime : public Runtime
 {
   public:
+    using Runtime::onInterval;
+
     Decision
-    onInterval(double, double) override
+    onInterval(const std::vector<ServiceReport> &) override
     {
         return Decision{};
     }
@@ -131,10 +166,13 @@ class PreciseRuntime : public Runtime
 class PliantRuntime : public Runtime
 {
   public:
+    using Runtime::onInterval;
+
     PliantRuntime(Actuator &actuator, RuntimeParams params,
                   std::uint64_t seed);
 
-    Decision onInterval(double p99_us, double qos_us) override;
+    Decision
+    onInterval(const std::vector<ServiceReport> &services) override;
 
     std::string name() const override { return "pliant"; }
 
@@ -172,11 +210,11 @@ class PliantRuntime : public Runtime
     int requiredStreak;
     int sinceRevert = 1 << 20;
     int metStreak = 0;
-    /** p99 observed when the partition was last grown (<0: none). */
-    double p99AtLastGrow = -1.0;
+    /** Worst p99/QoS when the partition was last grown (<0: none). */
+    double ratioAtLastGrow = -1.0;
     /** Consecutive partition grows that failed to improve latency. */
     int futileGrows = 0;
-    double lastP99 = 0.0;
+    double lastRatio = 0.0;
 };
 
 } // namespace core

@@ -39,6 +39,77 @@ aggregate(const std::vector<approx::PressureVector> &corunners)
     return agg;
 }
 
+/**
+ * The one shared contention model. `pagg` aggregates peer services
+ * (service-side of any way partition), `tagg` the approximate tasks
+ * (squeezed side); `part` is null when the LLC is unpartitioned.
+ * Every public entry point delegates here, so the knee/cap constants
+ * exist exactly once. With an all-zero `pagg` the arithmetic is
+ * bit-identical to the historical single-service formulas (adding a
+ * zero aggregate preserves every intermediate value).
+ */
+ContentionBreakdown
+contend(double llc_mb, double peak_bw,
+        const approx::PressureVector &self, const Aggregate &pagg,
+        const Aggregate &tagg, const CachePartition *part)
+{
+    ContentionBreakdown c;
+
+    if (part == nullptr) {
+        // Shared LLC: conflict misses grow smoothly once combined
+        // working sets pass ~half the capacity, and steeply past
+        // capacity.
+        const double total_llc = self.llcMb + pagg.llc + tagg.llc;
+        const double occupancy = total_llc / llc_mb;
+        if (occupancy > 0.5) {
+            const double x = (occupancy - 0.5) / 0.7;
+            c.llc = std::min(x * x, 1.6);
+        }
+
+        // Memory bandwidth: queueing delay grows once total demand
+        // passes ~35% of peak (DDR scheduling conflicts), steeply as
+        // it approaches saturation.
+        const double total_bw = self.membwGbs + pagg.bw + tagg.bw;
+        const double util = total_bw / peak_bw;
+        if (util > 0.35) {
+            const double x = (util - 0.35) / 0.65;
+            c.membw = std::min(x * x, 1.6);
+        }
+    } else {
+        // The service-side partition is private to the interactive
+        // service(s): LLC contention exists only if their combined
+        // working sets overflow the isolated allocation.
+        const double svc_cap = part->serviceCapacityMb();
+        const double svc_occ = (self.llcMb + pagg.llc) / svc_cap;
+        if (svc_occ > 0.8) {
+            const double x = (svc_occ - 0.8) / 0.7;
+            c.llc = std::min(x * x, 1.6);
+        }
+
+        // Tasks squeezed into the remaining ways miss more, which
+        // amplifies their DRAM traffic — partitioning shifts pressure
+        // from the LLC channel to the bandwidth channel. Peer
+        // services live inside the partition and hit the memory
+        // channels unamplified.
+        const double amplified_bw =
+            tagg.bw * part->corunnerBwAmplification(tagg.llc);
+        const double util =
+            (self.membwGbs + pagg.bw + amplified_bw) / peak_bw;
+        if (util > 0.35) {
+            const double x = (util - 0.35) / 0.65;
+            c.membw = std::min(x * x, 1.6);
+        }
+    }
+
+    // Compute: containers are pinned to disjoint physical cores, so
+    // only frequency/power coupling remains — a small effect
+    // proportional to the co-runners' aggregate utilization.
+    c.compute = std::min(0.10 * (pagg.compute + tagg.compute), 0.5);
+
+    c.activity = std::min(pagg.activity + tagg.activity, 1.6);
+    return c;
+}
+
 } // namespace
 
 ContentionBreakdown
@@ -46,37 +117,8 @@ InterferenceModel::contention(
     const approx::PressureVector &service_pressure,
     const std::vector<approx::PressureVector> &corunners) const
 {
-    const Aggregate agg = aggregate(corunners);
-    const double total_llc = service_pressure.llcMb + agg.llc;
-    const double total_bw = service_pressure.membwGbs + agg.bw;
-
-    ContentionBreakdown c;
-
-    // LLC: conflict misses grow smoothly once combined working sets
-    // pass ~half the capacity, and steeply past capacity.
-    const double occupancy = total_llc / llcMb;
-    if (occupancy > 0.5) {
-        const double x = (occupancy - 0.5) / 0.7;
-        c.llc = std::min(x * x, 1.6);
-    }
-
-    // Memory bandwidth: queueing delay grows once total demand
-    // passes ~35% of peak (DDR scheduling conflicts), steeply as it
-    // approaches saturation.
-    const double util = total_bw / peakBw;
-    if (util > 0.35) {
-        const double x = (util - 0.35) / 0.65;
-        c.membw = std::min(x * x, 1.6);
-    }
-
-    // Compute: containers are pinned to disjoint physical cores, so
-    // only frequency/power coupling remains — a small effect
-    // proportional to the co-runners' aggregate utilization.
-    c.compute = std::min(0.10 * agg.compute, 0.5);
-
-    c.activity = std::min(agg.activity, 1.6);
-
-    return c;
+    return contend(llcMb, peakBw, service_pressure, Aggregate{},
+                   aggregate(corunners), nullptr);
 }
 
 ContentionBreakdown
@@ -85,36 +127,21 @@ InterferenceModel::contentionPartitioned(
     const std::vector<approx::PressureVector> &corunners,
     const CachePartition &partition) const
 {
-    if (!partition.isolated())
-        return contention(service_pressure, corunners);
+    return contend(llcMb, peakBw, service_pressure, Aggregate{},
+                   aggregate(corunners),
+                   partition.isolated() ? &partition : nullptr);
+}
 
-    const Aggregate agg = aggregate(corunners);
-    ContentionBreakdown c;
-
-    // The service's partition is private: LLC contention exists only
-    // if the service's own working set overflows its allocation.
-    const double svc_cap = partition.serviceCapacityMb();
-    const double svc_occ = service_pressure.llcMb / svc_cap;
-    if (svc_occ > 0.8) {
-        const double x = (svc_occ - 0.8) / 0.7;
-        c.llc = std::min(x * x, 1.6);
-    }
-
-    // Co-runners squeezed into the remaining ways miss more, which
-    // amplifies their DRAM traffic — partitioning shifts pressure
-    // from the LLC channel to the bandwidth channel.
-    const double amplified_bw =
-        agg.bw * partition.corunnerBwAmplification(agg.llc);
-    const double util =
-        (service_pressure.membwGbs + amplified_bw) / peakBw;
-    if (util > 0.35) {
-        const double x = (util - 0.35) / 0.65;
-        c.membw = std::min(x * x, 1.6);
-    }
-
-    c.compute = std::min(0.10 * agg.compute, 0.5);
-    c.activity = std::min(agg.activity, 1.6);
-    return c;
+ContentionBreakdown
+InterferenceModel::contentionMulti(
+    const approx::PressureVector &self,
+    const std::vector<approx::PressureVector> &peers,
+    const std::vector<approx::PressureVector> &tasks,
+    const CachePartition &partition) const
+{
+    return contend(llcMb, peakBw, self, aggregate(peers),
+                   aggregate(tasks),
+                   partition.isolated() ? &partition : nullptr);
 }
 
 } // namespace server

@@ -92,6 +92,24 @@ class InterferenceModel
         const CachePartition &partition) const;
 
     /**
+     * Contention one service experiences in a multi-tenant
+     * colocation: `peers` are the *other* latency-critical services
+     * (inside the service-side way partition when one is active) and
+     * `tasks` are the approximate co-runners (outside it). Without
+     * partitioning this equals contention() over peers+tasks; with
+     * partitioning the peers share the isolated ways with `self`
+     * (their working sets count against the service-side capacity
+     * and their bandwidth is not amplified) while only the tasks are
+     * squeezed into the remaining ways. With no peers this
+     * degenerates exactly to contention()/contentionPartitioned().
+     */
+    ContentionBreakdown contentionMulti(
+        const approx::PressureVector &self,
+        const std::vector<approx::PressureVector> &peers,
+        const std::vector<approx::PressureVector> &tasks,
+        const CachePartition &partition) const;
+
+    /**
      * Service-time inflation factor (>= 1) for a service with the
      * given sensitivity under the given contention.
      */

@@ -93,6 +93,15 @@ ServiceTickResult
 InteractiveService::tick(sim::Time dt, double inflation)
 {
     ServiceTickResult res;
+    tick(dt, inflation, res);
+    return res;
+}
+
+void
+InteractiveService::tick(sim::Time dt, double inflation,
+                         ServiceTickResult &res)
+{
+    res.sampleUs.clear();
     res.inflation = std::max(1.0, inflation);
     res.offeredLoad = workload.tick(dt);
 
@@ -140,8 +149,6 @@ InteractiveService::tick(sim::Time dt, double inflation)
     res.sampleUs.reserve(n_samples);
     for (std::size_t i = 0; i < n_samples; ++i)
         res.sampleUs.push_back(std::exp(mu + sigma * rng.normal()));
-
-    return res;
 }
 
 approx::PressureVector

@@ -114,6 +114,15 @@ class InteractiveService
      */
     ServiceTickResult tick(sim::Time dt, double inflation);
 
+    /**
+     * Allocation-free variant for hot loops: fills `out` in place,
+     * reusing its sampleUs capacity across ticks.
+     */
+    void tick(sim::Time dt, double inflation, ServiceTickResult &out);
+
+    /** Re-target the workload's mean offered-load fraction. */
+    void setBaseLoad(double load) { workload.setBaseLoad(load); }
+
     /** Pressure the service exerts on shared resources right now. */
     approx::PressureVector currentPressure() const;
 

@@ -61,6 +61,14 @@ class WorkloadGenerator
     /** Current load fraction without advancing. */
     double current() const { return lastLoad; }
 
+    /**
+     * Re-target the mean offered load. The scenario layer
+     * (colo::Scenario) calls this every tick so deterministic macro
+     * patterns (diurnal cycles, flash crowds, steps) compose with
+     * the stochastic noise/burst texture this generator produces.
+     */
+    void setBaseLoad(double load) { cfg.loadFraction = load; }
+
     bool inBurst() const { return burstRemaining > 0; }
 
     const WorkloadConfig &config() const { return cfg; }

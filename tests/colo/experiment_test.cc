@@ -3,7 +3,7 @@
  * Integration tests for the colocation experiment harness.
  */
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 
 #include <gtest/gtest.h>
 
@@ -18,16 +18,16 @@ using namespace pliant::colo;
 TEST(FairShareTest, SplitsUsableCores)
 {
     server::ServerSpec spec; // 16 usable
-    EXPECT_EQ(ColocationExperiment::fairShare(spec, 1), 8);
-    EXPECT_EQ(ColocationExperiment::fairShare(spec, 2), 5);
-    EXPECT_EQ(ColocationExperiment::fairShare(spec, 3), 4);
+    EXPECT_EQ(Engine::fairShare(spec, 1), 8);
+    EXPECT_EQ(Engine::fairShare(spec, 2), 5);
+    EXPECT_EQ(Engine::fairShare(spec, 3), 4);
 }
 
 TEST(ExperimentTest, RequiresAtLeastOneApp)
 {
     ColoConfig cfg;
     cfg.apps = {};
-    EXPECT_THROW(ColocationExperiment exp(cfg), util::FatalError);
+    EXPECT_THROW(Engine exp(cfg), util::FatalError);
 }
 
 TEST(ExperimentTest, RunsToTaskCompletion)
@@ -118,7 +118,7 @@ TEST(ExperimentTest, MultiAppUsesSmallerFairShare)
     cfg.service = services::ServiceKind::MongoDb;
     cfg.apps = {"scalparc", "fasta", "hmmer"};
     cfg.seed = 4;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     EXPECT_EQ(r.apps.size(), 3u);
     for (const auto &a : r.apps)
@@ -162,7 +162,7 @@ TEST(ExperimentTest, MaxDurationCapsRunaway)
     cfg.service = services::ServiceKind::Memcached;
     cfg.apps = {"plsa"};
     cfg.maxDuration = 3 * sim::kSecond;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     EXPECT_LE(r.timeline.size(), 3u);
     EXPECT_FALSE(r.apps[0].finished);
@@ -175,12 +175,12 @@ TEST(ExperimentTest, DecisionIntervalControlsTimelineDensity)
     cfg.apps = {"raytrace"};
     cfg.decisionInterval = 2 * sim::kSecond;
     cfg.seed = 8;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult coarse = exp.run();
 
     ColoConfig cfg2 = cfg;
     cfg2.decisionInterval = sim::kSecond;
-    ColocationExperiment exp2(cfg2);
+    Engine exp2(cfg2);
     const ColoResult fine = exp2.run();
     // Same wall time, double the decision points (within rounding).
     EXPECT_GT(fine.timeline.size(), coarse.timeline.size());
@@ -193,7 +193,7 @@ TEST(ExperimentTest, ImpactAwareArbiterRuns)
     cfg.apps = {"canneal", "snp"};
     cfg.arbiter = core::ArbiterKind::ImpactAware;
     cfg.seed = 9;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     EXPECT_EQ(r.apps.size(), 2u);
     // Impact-aware should prefer escalating SNP (more relief, similar

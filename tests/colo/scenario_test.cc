@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the deterministic load-scenario traces: one per
+ * pattern, plus purity (same (scenario, t) -> same load, the
+ * property the sweep determinism guarantee rests on).
+ */
+
+#include "colo/scenario.hh"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pliant;
+using colo::Scenario;
+using colo::ScenarioKind;
+
+constexpr sim::Time kS = sim::kSecond;
+
+TEST(ScenarioTest, ConstantIsFlat)
+{
+    const Scenario s = Scenario::constant(0.78);
+    for (sim::Time t = 0; t < 600 * kS; t += 7 * kS)
+        EXPECT_DOUBLE_EQ(s.loadAt(t), 0.78);
+}
+
+TEST(ScenarioTest, DiurnalOscillatesAroundBaseWithinAmplitude)
+{
+    const Scenario s = Scenario::diurnal(0.6, 0.25, 120 * kS);
+    double lo = 1e9, hi = -1e9;
+    for (sim::Time t = 0; t <= 240 * kS; t += kS / 4) {
+        const double load = s.loadAt(t);
+        EXPECT_GE(load, 0.6 * (1.0 - 0.25) - 1e-12);
+        EXPECT_LE(load, 0.6 * (1.0 + 0.25) + 1e-12);
+        lo = std::min(lo, load);
+        hi = std::max(hi, load);
+    }
+    // The sinusoid actually reaches both extremes...
+    EXPECT_NEAR(lo, 0.6 * 0.75, 1e-6);
+    EXPECT_NEAR(hi, 0.6 * 1.25, 1e-6);
+    // ... starts at the base, and repeats with the configured period.
+    EXPECT_NEAR(s.loadAt(0), 0.6, 1e-12);
+    EXPECT_NEAR(s.loadAt(37 * kS), s.loadAt(37 * kS + 120 * kS), 1e-9);
+}
+
+TEST(ScenarioTest, FlashCrowdRampHoldDecayEnvelope)
+{
+    const Scenario s = Scenario::flashCrowd(
+        0.6, 0.9, /*at=*/60 * kS, /*ramp=*/10 * kS, /*hold=*/30 * kS,
+        /*decay=*/20 * kS);
+    // Base before the crowd arrives.
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.6);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS - 1), 0.6);
+    // Linear ramp: halfway up at the ramp midpoint.
+    EXPECT_NEAR(s.loadAt(65 * kS), 0.75, 1e-9);
+    // Peak throughout the hold.
+    EXPECT_DOUBLE_EQ(s.loadAt(70 * kS), 0.9);
+    EXPECT_DOUBLE_EQ(s.loadAt(99 * kS), 0.9);
+    // Linear decay: halfway down at the decay midpoint.
+    EXPECT_NEAR(s.loadAt(110 * kS), 0.75, 1e-9);
+    // Back to base afterwards.
+    EXPECT_DOUBLE_EQ(s.loadAt(120 * kS), 0.6);
+    EXPECT_DOUBLE_EQ(s.loadAt(500 * kS), 0.6);
+    // Monotone during the ramp.
+    for (sim::Time t = 60 * kS; t < 70 * kS - kS; t += kS)
+        EXPECT_LT(s.loadAt(t), s.loadAt(t + kS));
+}
+
+TEST(ScenarioTest, StepSwitchesOnceAndPersists)
+{
+    const Scenario s = Scenario::step(0.5, 0.85, 60 * kS);
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.5);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS - 1), 0.5);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS), 0.85);
+    EXPECT_DOUBLE_EQ(s.loadAt(599 * kS), 0.85);
+}
+
+TEST(ScenarioTest, LoadAtIsPure)
+{
+    // Repeated queries at the same instant are identical (no hidden
+    // state), regardless of query order.
+    const Scenario s = Scenario::flashCrowd(0.6, 0.9, 60 * kS, 10 * kS,
+                                            30 * kS, 20 * kS);
+    const double later = s.loadAt(110 * kS);
+    const double earlier = s.loadAt(65 * kS);
+    EXPECT_DOUBLE_EQ(s.loadAt(65 * kS), earlier);
+    EXPECT_DOUBLE_EQ(s.loadAt(110 * kS), later);
+}
+
+TEST(ScenarioTest, NamesArePrintable)
+{
+    EXPECT_EQ(colo::scenarioName(ScenarioKind::Constant), "constant");
+    EXPECT_EQ(colo::scenarioName(ScenarioKind::Diurnal), "diurnal");
+    EXPECT_EQ(colo::scenarioName(ScenarioKind::FlashCrowd),
+              "flash-crowd");
+    EXPECT_EQ(colo::scenarioName(ScenarioKind::Step), "step");
+}
+
+} // namespace

@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 
 namespace {
 
@@ -27,7 +27,7 @@ sampleRun(core::RuntimeKind kind = core::RuntimeKind::Pliant,
     cfg.runtime = kind;
     cfg.enableCachePartitioning = partitioning;
     cfg.seed = 33;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     return exp.run();
 }
 
@@ -66,7 +66,7 @@ TEST(TraceTest, MultiAppColumnsPerApp)
     cfg.service = services::ServiceKind::Nginx;
     cfg.apps = {"canneal", "bayesian"};
     cfg.seed = 34;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     std::ostringstream os;
     writeTimelineCsv(os, r);
@@ -102,7 +102,7 @@ TEST(PartitionIntegrationTest, PartitionedRunStillMeetsQos)
     cfg.apps = {"canneal"};
     cfg.enableCachePartitioning = true;
     cfg.seed = 33;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     EXPECT_LE(r.meanIntervalP99Us, 1.10 * r.qosUs);
     EXPECT_GT(r.maxPartitionWays, 0);
@@ -138,10 +138,50 @@ TEST(LearnedIntegrationTest, LearnedSacrificesLessQualityThanPliant)
     pl.runtime = core::RuntimeKind::Pliant;
     ColoConfig ln = base;
     ln.runtime = core::RuntimeKind::Learned;
-    ColocationExperiment pe(pl), le(ln);
+    Engine pe(pl), le(ln);
     const double pliant_inacc = pe.run().apps[0].inaccuracy;
     const double learned_inacc = le.run().apps[0].inaccuracy;
     EXPECT_LE(learned_inacc, pliant_inacc + 0.01);
+}
+
+TEST(TraceTest, MultiServiceTimelineAddsPerServiceColumns)
+{
+    const sim::Time s = sim::kSecond;
+    ColoConfig cfg = makeMultiServiceConfig(
+        {{services::ServiceKind::Memcached, Scenario::constant(0.7)},
+         {services::ServiceKind::Nginx,
+          Scenario::flashCrowd(0.6, 0.9, 20 * s, 2 * s, 10 * s,
+                               5 * s)}},
+        {"canneal", "bayesian"}, core::RuntimeKind::Pliant, 36);
+    cfg.maxDuration = 60 * s;
+    Engine exp(cfg);
+    const ColoResult r = exp.run();
+
+    std::ostringstream os;
+    writeTimelineCsv(os, r);
+    std::istringstream is(os.str());
+    std::string header;
+    std::getline(is, header);
+    // Base columns still describe the primary service (exact header
+    // prefix — a bare find() would also match "nginx_p99_us")...
+    EXPECT_EQ(header.rfind("t_s,p99_us,", 0), 0u);
+    // ... and the secondary service gets its own series.
+    EXPECT_NE(header.find("nginx_p99_us"), std::string::npos);
+    EXPECT_NE(header.find("nginx_load"), std::string::npos);
+
+    std::ostringstream sum;
+    writeSummaryCsv(sum, r);
+    std::istringstream sis(sum.str());
+    std::string line;
+    std::size_t rows = 0;
+    std::getline(sis, line); // header
+    while (std::getline(sis, line))
+        if (!line.empty())
+            ++rows;
+    // One summary row per interactive service.
+    EXPECT_EQ(rows, 2u);
+    EXPECT_NE(sum.str().find("memcached"), std::string::npos);
+    EXPECT_NE(sum.str().find("nginx"), std::string::npos);
 }
 
 } // namespace

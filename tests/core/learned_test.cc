@@ -131,11 +131,13 @@ TEST(LearnedRuntimeTest, LearnsEstimatesForVisitedVariants)
     for (int i = 0; i < 30; ++i)
         rt.onInterval(env.latency(), 200.0);
     EXPECT_TRUE(rt.explored(0, 0));
-    // The estimate of a visited variant reflects the environment.
+    // The estimate of a visited variant reflects the environment:
+    // the learned value is the p99/QoS ratio under that variant.
     for (int v = 0; v <= env.mostApprox; ++v) {
         if (!rt.explored(0, v))
             continue;
-        EXPECT_NEAR(rt.estimate(0, v), 330.0 - 30.0 * v, 35.0)
+        EXPECT_NEAR(rt.estimate(0, v), (330.0 - 30.0 * v) / 200.0,
+                    35.0 / 200.0)
             << "variant " << v;
     }
 }
@@ -197,6 +199,20 @@ TEST(LearnedRuntimeTest, CountsIntervals)
     for (int i = 0; i < 5; ++i)
         rt.onInterval(100.0, 200.0);
     EXPECT_EQ(rt.intervals(), 5);
+}
+
+TEST(LearnedRuntimeTest, ViolationOnSecondaryServiceEscalates)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    std::vector<ServiceReport> svcs(2);
+    svcs[0].interval.p99Us = 100.0; // primary: 50% slack
+    svcs[0].qosUs = 200.0;
+    svcs[1].interval.p99Us = 12e3; // secondary: violating
+    svcs[1].qosUs = 10e3;
+    const Decision d = rt.onInterval(svcs);
+    EXPECT_EQ(d.kind, Decision::Kind::SwitchToMost);
+    EXPECT_GT(env.variant, 0);
 }
 
 /** The learner works across different environment difficulty levels. */

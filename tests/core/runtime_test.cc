@@ -373,6 +373,71 @@ TEST(PliantRuntimeTest, InvalidSlackThresholdIsFatal)
     EXPECT_THROW(PliantRuntime(act, prm, 1), pliant::util::FatalError);
 }
 
+/** Build a per-service report vector from (p99, qos) pairs. */
+std::vector<ServiceReport>
+reports(std::initializer_list<std::pair<double, double>> svcs)
+{
+    std::vector<ServiceReport> out;
+    for (const auto &[p99, qos] : svcs) {
+        ServiceReport r;
+        r.interval.p99Us = p99;
+        r.qosUs = qos;
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(MultiServiceRuntimeTest, WorstRatioPicksTheMostViolatedService)
+{
+    // 150/200 = 0.75 vs 9500/10000 = 0.95: nginx is closer to its
+    // (much larger) target, so it dominates the severity signal.
+    EXPECT_DOUBLE_EQ(
+        worstRatio(reports({{150.0, 200.0}, {9500.0, 10e3}})), 0.95);
+    EXPECT_DOUBLE_EQ(worstRatio({}), 0.0);
+}
+
+TEST(MultiServiceRuntimeTest, ViolationOnAnyServiceActuates)
+{
+    MockActuator act(1);
+    PliantRuntime rt(act, noHysteresis(), 1);
+    // Service 0 comfortably under QoS, service 1 violating: the
+    // joint loop must still escalate.
+    const Decision d =
+        rt.onInterval(reports({{100.0, 200.0}, {12e3, 10e3}}));
+    EXPECT_EQ(d.kind, Decision::Kind::SwitchToMost);
+    EXPECT_EQ(act.at(0).variant, 4);
+}
+
+TEST(MultiServiceRuntimeTest, RevertNeedsSlackOnEveryService)
+{
+    MockActuator act(1);
+    act.at(0).variant = 4;
+    PliantRuntime rt(act, noHysteresis(), 1);
+    // Service 0 has 50% slack but service 1 sits at 5% slack: the
+    // worst ratio (0.95) gates the revert path.
+    const Decision hold =
+        rt.onInterval(reports({{100.0, 200.0}, {9500.0, 10e3}}));
+    EXPECT_EQ(hold.kind, Decision::Kind::None);
+    EXPECT_EQ(act.at(0).variant, 4);
+    // Once both services have real slack, the revert proceeds.
+    const Decision revert =
+        rt.onInterval(reports({{100.0, 200.0}, {5000.0, 10e3}}));
+    EXPECT_EQ(revert.kind, Decision::Kind::StepDown);
+    EXPECT_EQ(act.at(0).variant, 3);
+}
+
+TEST(MultiServiceRuntimeTest, ScalarShorthandEqualsOneEntryVector)
+{
+    MockActuator a1(1), a2(1);
+    PliantRuntime r1(a1, noHysteresis(), 1);
+    PliantRuntime r2(a2, noHysteresis(), 1);
+    const Decision ds = r1.onInterval(300.0, 200.0);
+    const Decision dv = r2.onInterval(reports({{300.0, 200.0}}));
+    EXPECT_EQ(ds.kind, dv.kind);
+    EXPECT_EQ(ds.task, dv.task);
+    EXPECT_EQ(a1.at(0).variant, a2.at(0).variant);
+}
+
 TEST(DecisionTest, NamesArePrintable)
 {
     EXPECT_EQ(decisionName(Decision::Kind::None), "none");

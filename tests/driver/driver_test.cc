@@ -17,7 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 #include "dse/explore.hh"
 #include "util/rng.hh"
 #include "util/table.hh"

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "approx/profile.hh"
-#include "colo/experiment.hh"
+#include "colo/engine.hh"
 
 namespace {
 
@@ -159,7 +159,7 @@ TEST(PaperClaimsTest, MultiAppColocationSharesSacrifice)
     cfg.service = ServiceKind::Memcached;
     cfg.apps = {"canneal", "bayesian"};
     cfg.seed = 13;
-    ColocationExperiment exp(cfg);
+    Engine exp(cfg);
     const ColoResult r = exp.run();
     ASSERT_EQ(r.apps.size(), 2u);
     // Both within their own budgets; neither at zero while the other
@@ -205,8 +205,8 @@ TEST(PaperClaimsTest, CoarseDecisionIntervalsProlongViolations)
     ColoConfig coarse = fine;
     coarse.decisionInterval = 6 * sim::kSecond;
 
-    ColocationExperiment fexp(fine);
-    ColocationExperiment cexp(coarse);
+    Engine fexp(fine);
+    Engine cexp(coarse);
     const double f = fexp.run().steadyP99Us;
     const double c = cexp.run().steadyP99Us;
     EXPECT_LT(f, c);

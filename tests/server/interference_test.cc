@@ -152,4 +152,73 @@ TEST_P(MonotonicityTest, InflationMonotoneInChannel)
 INSTANTIATE_TEST_SUITE_P(Channels, MonotonicityTest,
                          ::testing::Values(0, 1, 2));
 
+TEST_F(InterferenceTest, MultiWithoutPeersEqualsSingleServiceModel)
+{
+    // contentionMulti with an empty peer list must be bit-identical
+    // to the historical single-service entry points, shared and
+    // partitioned alike — the engine's single-service regression
+    // rests on this.
+    const std::vector<PressureVector> tasks{
+        PressureVector{0.8, 30.0, 14.0, 0.0},
+        PressureVector{0.6, 12.0, 9.0, 0.0}};
+    const CachePartition shared(spec, 0);
+    const auto single = model.contention(service, tasks);
+    const auto multi =
+        model.contentionMulti(service, {}, tasks, shared);
+    EXPECT_EQ(single.llc, multi.llc);
+    EXPECT_EQ(single.membw, multi.membw);
+    EXPECT_EQ(single.compute, multi.compute);
+    EXPECT_EQ(single.activity, multi.activity);
+
+    CachePartition part(spec, 0);
+    ASSERT_TRUE(part.grow() && part.grow() && part.grow());
+    const auto psingle =
+        model.contentionPartitioned(service, tasks, part);
+    const auto pmulti =
+        model.contentionMulti(service, {}, tasks, part);
+    EXPECT_EQ(psingle.llc, pmulti.llc);
+    EXPECT_EQ(psingle.membw, pmulti.membw);
+    EXPECT_EQ(psingle.compute, pmulti.compute);
+    EXPECT_EQ(psingle.activity, pmulti.activity);
+}
+
+TEST_F(InterferenceTest, PartitionedPeersShareServiceSideUnamplified)
+{
+    // One peer service inside the partition, tasks outside it.
+    const PressureVector peer{0.7, 12.0, 10.0, 8.0};
+    const std::vector<PressureVector> tasks{
+        PressureVector{0.8, 30.0, 14.0, 0.0}};
+    CachePartition part(spec, 0);
+    while (part.serviceWays() < 6)
+        ASSERT_TRUE(part.grow());
+
+    const auto with_peer =
+        model.contentionMulti(service, {peer}, tasks, part);
+    const auto alone = model.contentionMulti(service, {}, tasks, part);
+
+    // The peer's working set counts against the service-side
+    // capacity: adding it can only raise (here: strictly raises) the
+    // LLC overflow term.
+    EXPECT_GT(with_peer.llc, alone.llc);
+
+    // The peer's bandwidth lands unamplified: the membw term must
+    // equal a run where the peer's demand is simply added to the
+    // service's own (and be strictly less than what task-side
+    // amplification of the same traffic would produce).
+    PressureVector self_plus_peer_bw = service;
+    self_plus_peer_bw.membwGbs += peer.membwGbs;
+    PressureVector peer_no_bw = peer;
+    peer_no_bw.membwGbs = 0.0;
+    const auto folded = model.contentionMulti(self_plus_peer_bw,
+                                              {peer_no_bw}, tasks,
+                                              part);
+    EXPECT_DOUBLE_EQ(with_peer.membw, folded.membw);
+
+    PressureVector peer_as_task = peer;
+    const auto squeezed = model.contentionMulti(
+        service, {},
+        {tasks[0], peer_as_task}, part);
+    EXPECT_LT(with_peer.membw, squeezed.membw);
+}
+
 } // namespace
