@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cluster placement sweep (beyond the paper): three nodes, each
+ * hosting memcached + nginx, sharing six approximate applications.
+ * One node's memcached takes a flash crowd mid-run; the sweep
+ * compares placement policies (static round-robin, least-loaded LPT,
+ * QoS-pressure-aware with migration) under the precise baseline and
+ * the Pliant runtime. The whole grid runs as one batch through
+ * driver::Sweep; per-node execution is deterministic at any thread
+ * count, so the table is byte-identical run to run.
+ */
+
+#include <iostream>
+
+#include "cluster/cluster.hh"
+#include "util/table.hh"
+
+using namespace pliant;
+
+namespace {
+
+cluster::ClusterConfig
+makeConfig(cluster::PlacementKind placement, core::RuntimeKind runtime,
+           bool quick)
+{
+    const sim::Time s = sim::kSecond;
+    cluster::ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        if (n == 0) {
+            // The crowded node: memcached ramps to saturation.
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::flashCrowd(
+                                0.60, 0.95, 30 * s, 3 * s, 25 * s,
+                                10 * s));
+        } else {
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::constant(0.60));
+        }
+        builder.service(services::ServiceKind::Nginx,
+                        colo::Scenario::constant(0.65));
+    }
+    builder
+        .apps({"canneal", "bayesian", "snp", "kmeans", "raytrace",
+               "streamcluster"})
+        .runtime(runtime)
+        .placement(placement)
+        .epoch(5 * s)
+        .seed(71);
+    if (quick)
+        builder.maxDuration(90 * s);
+    return builder.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::cout << "=== Cluster placement: 3 nodes x (memcached + "
+                 "nginx) + 6 approximate apps ===\n\n";
+
+    const cluster::PlacementKind placements[] = {
+        cluster::PlacementKind::Static,
+        cluster::PlacementKind::LeastLoaded,
+        cluster::PlacementKind::QosAware,
+    };
+    const core::RuntimeKind runtimes[] = {core::RuntimeKind::Precise,
+                                          core::RuntimeKind::Pliant};
+
+    std::vector<cluster::ClusterConfig> configs;
+    std::vector<std::string> labels;
+    for (auto placement : placements) {
+        for (auto runtime : runtimes) {
+            configs.push_back(makeConfig(placement, runtime, quick));
+            labels.push_back(cluster::placementName(placement));
+        }
+    }
+
+    driver::SweepOptions sweep;
+    sweep.label = "cluster";
+    const auto results = cluster::runClusters(configs, sweep);
+
+    cluster::clusterTable(labels, results).print(std::cout);
+    std::cout
+        << "\nReading: the precise baseline cannot defend the "
+           "crowded node's QoS under any placement — only the "
+           "runtime's approximation/core levers restore the tail. "
+           "Under Pliant, work-balanced placements (least-loaded, "
+           "qos-aware) beat static round-robin on the worst "
+           "cluster-wide ratio, and the QoS-aware policy "
+           "additionally migrates an app off the crowded node at an "
+           "epoch boundary — placement churn the per-node control "
+           "loops absorb without losing determinism.\n";
+    return 0;
+}

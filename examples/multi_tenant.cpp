@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "colo/builder.hh"
 #include "colo/engine.hh"
 #include "util/table.hh"
 
@@ -21,17 +22,23 @@ runWith(pliant::core::ArbiterKind arbiter)
 {
     using namespace pliant;
     const sim::Time s = sim::kSecond;
-    colo::ColoConfig cfg = colo::makeMultiServiceConfig(
-        {{services::ServiceKind::Nginx,
-          colo::Scenario::constant(0.65)},
-         {services::ServiceKind::Memcached,
-          colo::Scenario::flashCrowd(/*base=*/0.60, /*peak=*/0.95,
-                                     /*at=*/40 * s, /*ramp=*/3 * s,
-                                     /*hold=*/25 * s,
-                                     /*decay=*/10 * s)}},
-        {"canneal", "bayesian", "snp"}, core::RuntimeKind::Pliant,
-        /*seed=*/7777);
-    cfg.arbiter = arbiter;
+    // The builder API: tenants, apps, and runtime in one validated
+    // chain — a bad app name or duplicate tenant fails here, not
+    // deep inside the tick loop.
+    colo::ColoConfig cfg =
+        colo::ConfigBuilder()
+            .service(services::ServiceKind::Nginx,
+                     colo::Scenario::constant(0.65))
+            .service(services::ServiceKind::Memcached,
+                     colo::Scenario::flashCrowd(
+                         /*base=*/0.60, /*peak=*/0.95, /*at=*/40 * s,
+                         /*ramp=*/3 * s, /*hold=*/25 * s,
+                         /*decay=*/10 * s))
+            .apps({"canneal", "bayesian", "snp"})
+            .runtime(core::RuntimeKind::Pliant)
+            .arbiter(arbiter)
+            .seed(7777)
+            .build();
     colo::Engine engine(cfg);
     return engine.run();
 }

@@ -6,16 +6,22 @@
  * Usage:
  *   pliant_cli [--service nginx|memcached|mongodb]
  *              [--services nginx,memcached,...]
- *              [--scenario constant|diurnal|flash|step]
+ *              [--scenario constant|diurnal|flash|step|trace:<file>]
  *              [--apps canneal,bayesian,...]
  *              [--runtime precise|pliant|learned]
  *              [--load 0.78] [--interval-s 1.0] [--seed 1]
  *              [--cache-partitioning] [--csv timeline|summary]
+ *              [--nodes N] [--placement static|least-loaded|qos-aware]
+ *              [--epoch-s 5.0]
  *              [--list-apps]
  *
  * --services runs a multi-service colocation (one tenant per listed
  * service); --scenario applies the named deterministic load pattern
- * (default parameters, around --load) to every tenant.
+ * (default parameters, around --load) to every tenant;
+ * `trace:<file>` replays a piecewise-linear (t_seconds,load) CSV.
+ * --nodes N > 1 runs a cluster: every node hosts the service list,
+ * and --placement decides where the apps land (and, for qos-aware,
+ * whether they migrate at --epoch-s boundaries).
  */
 
 #include <algorithm>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "approx/profile.hh"
+#include "cluster/cluster.hh"
 #include "colo/engine.hh"
 #include "colo/trace.hh"
 #include "util/logging.hh"
@@ -41,10 +48,12 @@ usage(const char *argv0)
         << "usage: " << argv0
         << " [--service nginx|memcached|mongodb]"
            " [--services a,b,...]"
-           " [--scenario constant|diurnal|flash|step]"
+           " [--scenario constant|diurnal|flash|step|trace:<file>]"
            " [--apps a,b,...] [--runtime precise|pliant|learned]"
            " [--load F] [--interval-s S] [--seed N]"
            " [--cache-partitioning] [--csv timeline|summary]"
+           " [--nodes N] [--placement static|least-loaded|qos-aware]"
+           " [--epoch-s S]"
            " [--list-apps]\n";
     std::exit(2);
 }
@@ -61,11 +70,25 @@ parseService(const std::string &s, const char *argv0)
     usage(argv0);
 }
 
+cluster::PlacementKind
+parsePlacement(const std::string &s, const char *argv0)
+{
+    if (s == "static")
+        return cluster::PlacementKind::Static;
+    if (s == "least-loaded")
+        return cluster::PlacementKind::LeastLoaded;
+    if (s == "qos-aware")
+        return cluster::PlacementKind::QosAware;
+    usage(argv0);
+}
+
 /** Named scenario preset with default excursion parameters. */
 colo::Scenario
 parseScenario(const std::string &s, double base, const char *argv0)
 {
     const sim::Time sec = sim::kSecond;
+    if (s.rfind("trace:", 0) == 0)
+        return colo::Scenario::traceFromCsvFile(s.substr(6));
     if (s == "constant")
         return colo::Scenario::constant(base);
     if (s == "diurnal")
@@ -104,6 +127,9 @@ main(int argc, char **argv)
     std::string csv_mode;
     std::vector<services::ServiceKind> multi;
     std::string scenario = "constant";
+    std::size_t nodes = 1;
+    cluster::PlacementKind placement = cluster::PlacementKind::Static;
+    sim::Time epoch = 5 * sim::kSecond;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -139,6 +165,12 @@ main(int argc, char **argv)
             cfg.seed = std::stoull(next());
         } else if (arg == "--cache-partitioning") {
             cfg.enableCachePartitioning = true;
+        } else if (arg == "--nodes") {
+            nodes = std::stoul(next());
+        } else if (arg == "--placement") {
+            placement = parsePlacement(next(), argv[0]);
+        } else if (arg == "--epoch-s") {
+            epoch = sim::fromSeconds(std::stod(next()));
         } else if (arg == "--csv") {
             csv_mode = next();
         } else if (arg == "--list-apps") {
@@ -153,16 +185,96 @@ main(int argc, char **argv)
     // Assemble the tenant list when multi-service or a non-constant
     // scenario was requested; otherwise keep the legacy single-service
     // fields (bit-identical to the original harness).
-    if (!multi.empty() || scenario != "constant") {
-        if (multi.empty())
-            multi.push_back(cfg.service);
-        for (auto kind : multi) {
-            colo::ServiceSpec spec;
-            spec.kind = kind;
-            spec.scenario =
-                parseScenario(scenario, cfg.loadFraction, argv[0]);
-            cfg.services.push_back(spec);
+    try {
+        if (!multi.empty() || scenario != "constant") {
+            if (multi.empty())
+                multi.push_back(cfg.service);
+            for (auto kind : multi) {
+                colo::ServiceSpec spec;
+                spec.kind = kind;
+                spec.scenario =
+                    parseScenario(scenario, cfg.loadFraction, argv[0]);
+                cfg.services.push_back(spec);
+            }
         }
+    } catch (const util::FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 1;
+    }
+
+    // Cluster mode: every node hosts the assembled service list; the
+    // placement policy spreads the apps (and, for qos-aware, may
+    // migrate them at epoch boundaries).
+    if (nodes > 1) {
+        if (!csv_mode.empty()) {
+            std::cerr << "error: --csv is a single-node feature\n";
+            return 2;
+        }
+        try {
+            cluster::ClusterConfigBuilder builder;
+            builder.nodes(nodes);
+            if (cfg.services.empty()) {
+                builder.serviceOnAll(
+                    cfg.service,
+                    colo::Scenario::constant(cfg.loadFraction));
+            } else {
+                for (const auto &spec : cfg.services)
+                    builder.serviceOnAll(spec.kind, spec.scenario);
+            }
+            const cluster::ClusterConfig ccfg =
+                builder.apps(cfg.apps)
+                    .runtime(cfg.runtime)
+                    .decisionInterval(cfg.decisionInterval)
+                    .cachePartitioning(cfg.enableCachePartitioning)
+                    .placement(placement)
+                    .epoch(epoch)
+                    .seed(cfg.seed)
+                    .build();
+            cluster::Cluster cl(ccfg);
+            const cluster::ClusterResult r = cl.run();
+
+            std::cout << nodes << "-node cluster under " << r.runtime
+                      << " runtime, " << r.placement
+                      << " placement\n\n";
+            cluster::clusterTable({"cluster"}, {r})
+                .print(std::cout);
+            std::cout << '\n';
+            util::TextTable t({"node", "apps", "worst p99/QoS",
+                               "met%", "cores"});
+            for (const auto &node : r.nodes) {
+                std::string apps;
+                for (const auto &app : node.result.apps) {
+                    if (!apps.empty())
+                        apps += "+";
+                    apps += app.name;
+                }
+                double worst = 0.0;
+                double met = 0.0;
+                for (const auto &svc : node.result.services) {
+                    worst = std::max(
+                        worst, svc.meanIntervalP99Us / svc.qosUs);
+                    met += svc.qosMetFraction;
+                }
+                met /= static_cast<double>(
+                    node.result.services.size());
+                t.addRow({node.name, apps.empty() ? "-" : apps,
+                          util::fmt(worst, 2) + "x",
+                          util::fmtPct(met, 0),
+                          std::to_string(
+                              node.result.maxCoresReclaimedTotal)});
+            }
+            t.print(std::cout);
+            for (const auto &mig : r.migrations)
+                std::cout << "migration: " << mig.app << " "
+                          << r.nodes[mig.from].name << " -> "
+                          << r.nodes[mig.to].name << " at t="
+                          << util::fmt(sim::toSeconds(mig.t), 1)
+                          << " s\n";
+        } catch (const util::FatalError &err) {
+            std::cerr << "error: " << err.what() << '\n';
+            return 1;
+        }
+        return 0;
     }
 
     try {

@@ -18,6 +18,47 @@ ApproxTask::ApproxTask(const AppProfile &profile, int fair_cores,
     elisionNoiseDraw = rng.uniform(0.3, 1.0) * profile.syncElisionNoise;
 }
 
+ApproxTask::ApproxTask(const AppProfile &profile, int fair_cores,
+                       const TaskState &state)
+    : ApproxTask(profile, fair_cores, /*seed=*/0)
+{
+    if (state.app != profile.name)
+        util::panic("task state for '", state.app,
+                    "' restored against profile '", profile.name, "'");
+    if (state.workPerVariant.size() != profile.variants.size())
+        util::panic("task state for '", state.app, "' carries ",
+                    state.workPerVariant.size(),
+                    " variant work entries, profile has ",
+                    profile.variants.size());
+    currentVariant = state.variant;
+    progress = state.progress;
+    elapsedTime = state.elapsed;
+    switches = state.switches;
+    workPerVariant = state.workPerVariant;
+    switchStall = state.switchStall;
+    usedAggressiveVariant = state.usedAggressiveVariant;
+    // The only stochastic draw a task ever makes happens at its
+    // original construction; carrying the draw keeps the final
+    // inaccuracy independent of where the app finishes.
+    elisionNoiseDraw = state.elisionNoiseDraw;
+}
+
+TaskState
+ApproxTask::checkpoint() const
+{
+    TaskState st;
+    st.app = prof->name;
+    st.variant = currentVariant;
+    st.progress = progress;
+    st.elapsed = elapsedTime;
+    st.switches = switches;
+    st.workPerVariant = workPerVariant;
+    st.switchStall = switchStall;
+    st.usedAggressiveVariant = usedAggressiveVariant;
+    st.elisionNoiseDraw = elisionNoiseDraw;
+    return st;
+}
+
 void
 ApproxTask::switchVariant(int idx)
 {

@@ -9,6 +9,7 @@
 #ifndef PLIANT_APPROX_TASK_HH
 #define PLIANT_APPROX_TASK_HH
 
+#include <string>
 #include <vector>
 
 #include "approx/profile.hh"
@@ -17,6 +18,33 @@
 
 namespace pliant {
 namespace approx {
+
+/**
+ * Serialized execution state of an ApproxTask, sufficient to resume
+ * the application on another simulated node (the cluster layer's
+ * migration path). The state is a pure value: restoring it into a
+ * fresh task on any node reproduces the quality accounting exactly,
+ * so migrations cannot perturb determinism.
+ */
+struct TaskState
+{
+    /** Catalog name of the application (resolves the profile). */
+    std::string app;
+
+    int variant = 0;
+    double progress = 0.0;
+    sim::Time elapsed = 0;
+    int switches = 0;
+
+    /** Work fraction executed under each variant index. */
+    std::vector<double> workPerVariant;
+
+    /** Unconsumed recompilation stall carried across the move. */
+    sim::Time switchStall = 0;
+
+    bool usedAggressiveVariant = false;
+    double elisionNoiseDraw = 0.0;
+};
 
 /**
  * An approximate application executing on the simulated server.
@@ -48,6 +76,19 @@ class ApproxTask
      */
     ApproxTask(const AppProfile &profile, int fair_cores,
                std::uint64_t seed);
+
+    /**
+     * Restore a checkpointed task on a (possibly different) node.
+     * The profile must match state.app; the core allocation starts
+     * at the destination's fair share — a migrated application lands
+     * with a fresh fair allocation, any reclaimed-core debt having
+     * been settled on the source node before detach.
+     */
+    ApproxTask(const AppProfile &profile, int fair_cores,
+               const TaskState &state);
+
+    /** Snapshot the execution state for migration. */
+    TaskState checkpoint() const;
 
     const AppProfile &profile() const { return *prof; }
 

@@ -1,0 +1,512 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "driver/pool.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace pliant {
+namespace cluster {
+
+namespace {
+
+std::string
+resolvedNodeName(const NodeSpec &node, std::size_t idx)
+{
+    return node.name.empty() ? "node" + std::to_string(idx)
+                             : node.name;
+}
+
+} // namespace
+
+void
+validateClusterConfig(const ClusterConfig &cfg)
+{
+    if (cfg.nodes.empty())
+        util::fatal("cluster needs at least one node");
+    if (cfg.apps.empty())
+        util::fatal("cluster needs at least one app to place");
+    colo::validateAppList(cfg.apps, cfg.initialVariants);
+    for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+        if (cfg.nodes[i].services.empty())
+            util::fatal("cluster node '",
+                        resolvedNodeName(cfg.nodes[i], i),
+                        "' hosts no interactive service");
+        const auto &specs = cfg.nodes[i].services;
+        for (std::size_t a = 0; a < specs.size(); ++a)
+            for (std::size_t b = a + 1; b < specs.size(); ++b)
+                if (specs[a].resolvedName() == specs[b].resolvedName())
+                    util::fatal("duplicate service '",
+                                specs[a].resolvedName(), "' on node '",
+                                resolvedNodeName(cfg.nodes[i], i),
+                                "': give same-kind tenants distinct "
+                                "instance names");
+        for (std::size_t j = i + 1; j < cfg.nodes.size(); ++j)
+            if (resolvedNodeName(cfg.nodes[i], i) ==
+                resolvedNodeName(cfg.nodes[j], j))
+                util::fatal("duplicate node name '",
+                            resolvedNodeName(cfg.nodes[i], i),
+                            "' in cluster config");
+    }
+    if (cfg.decisionInterval <= 0)
+        util::fatal("decision interval must be positive");
+    if (cfg.tick <= 0)
+        util::fatal("simulation tick must be positive");
+    if (cfg.maxDuration <= 0)
+        util::fatal("max duration must be positive");
+    if (cfg.epoch <= 0)
+        util::fatal("cluster epoch must be positive");
+    if (cfg.epoch < cfg.decisionInterval)
+        util::fatal("cluster epoch (", sim::toSeconds(cfg.epoch),
+                    " s) must be at least the decision interval (",
+                    sim::toSeconds(cfg.decisionInterval),
+                    " s): placement acts on closed interval reports");
+}
+
+std::uint64_t
+Cluster::nodeSeed(std::uint64_t clusterSeed, std::size_t node)
+{
+    return driver::taskSeed(clusterSeed, node);
+}
+
+Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
+{
+    validateClusterConfig(cfg);
+    policy = makePlacement(cfg.placement);
+
+    std::vector<approx::AppProfile> profs;
+    profs.reserve(cfg.apps.size());
+    for (const auto &name : cfg.apps)
+        profs.push_back(approx::findProfile(name));
+    assignment = policy->initialPlacement(cfg.nodes.size(), profs);
+    if (assignment.size() != cfg.apps.size())
+        util::panic("placement policy '", policy->name(),
+                    "' returned ", assignment.size(),
+                    " assignments for ", cfg.apps.size(), " apps");
+    for (std::size_t a = 0; a < assignment.size(); ++a)
+        if (assignment[a] >= cfg.nodes.size())
+            util::panic("placement policy '", policy->name(),
+                        "' assigned app '", cfg.apps[a],
+                        "' to node ", assignment[a], " of ",
+                        cfg.nodes.size());
+
+    nodeNames.reserve(cfg.nodes.size());
+    nodeConfigs.reserve(cfg.nodes.size());
+    for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+        nodeNames.push_back(resolvedNodeName(cfg.nodes[i], i));
+
+        colo::ColoConfig nc;
+        nc.services = cfg.nodes[i].services;
+        nc.spec = cfg.nodes[i].spec;
+        nc.runtime = cfg.runtime;
+        nc.arbiter = cfg.arbiter;
+        nc.decisionInterval = cfg.decisionInterval;
+        nc.slackThreshold = cfg.slackThreshold;
+        nc.tick = cfg.tick;
+        nc.maxDuration = cfg.maxDuration;
+        nc.enableCachePartitioning = cfg.enableCachePartitioning;
+        nc.seed = nodeSeed(cfg.seed, i);
+        for (std::size_t a = 0; a < cfg.apps.size(); ++a) {
+            if (assignment[a] != i)
+                continue;
+            nc.apps.push_back(cfg.apps[a]);
+            if (!cfg.initialVariants.empty())
+                nc.initialVariants.push_back(cfg.initialVariants[a]);
+        }
+        // Surface per-node problems (e.g. fair-core starvation from
+        // an overloaded node) at cluster construction time.
+        colo::validateConfig(nc);
+        nodeConfigs.push_back(std::move(nc));
+    }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<NodeStatus>
+Cluster::gatherStatuses() const
+{
+    std::vector<NodeStatus> statuses(engines.size());
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        NodeStatus &st = statuses[i];
+        st.node = i;
+        st.name = nodeNames[i];
+        st.done = engines[i]->appsFinished();
+        st.services = engines[i]->lastReports();
+        st.worstRatio = core::worstRatio(st.services);
+        st.apps.reserve(engines[i]->appCount());
+        for (std::size_t a = 0; a < engines[i]->appCount(); ++a) {
+            AppStatus app;
+            app.name = engines[i]->appName(a);
+            app.finished = engines[i]->appFinished(a);
+            app.progress = engines[i]->appProgress(a);
+            app.remainingWorkSeconds =
+                (1.0 - app.progress) *
+                approx::findProfile(app.name).nominalExecSeconds;
+            st.apps.push_back(std::move(app));
+        }
+    }
+    return statuses;
+}
+
+void
+Cluster::applyMigration(const MigrationDecision &decision,
+                        sim::Time now, ClusterResult &out)
+{
+    if (decision.from >= engines.size() ||
+        decision.to >= engines.size() ||
+        decision.from == decision.to)
+        return;
+    colo::Engine &src = *engines[decision.from];
+    for (std::size_t a = 0; a < src.appCount(); ++a) {
+        if (src.appName(a) != decision.app || src.appFinished(a))
+            continue;
+        const approx::TaskState state = src.detachApp(a);
+        // A destination whose own apps finished mid-epoch stopped
+        // its clock there; bring its services up to the barrier
+        // first, so the migrant resumes at cluster time `now` rather
+        // than re-executing a window it already ran on the source.
+        engines[decision.to]->advanceUntil(
+            now, /*keep_services_running=*/true);
+        engines[decision.to]->attachApp(state);
+        out.migrations.push_back(
+            {now, decision.app, decision.from, decision.to});
+        util::inform("cluster: migrated '", decision.app, "' from ",
+                     nodeNames[decision.from], " to ",
+                     nodeNames[decision.to], " at t=",
+                     sim::toSeconds(now), " s");
+        return;
+    }
+}
+
+ClusterResult
+Cluster::run()
+{
+    if (ran)
+        util::panic("Cluster::run() called twice");
+    ran = true;
+
+    engines.reserve(nodeConfigs.size());
+    for (const auto &nc : nodeConfigs)
+        engines.push_back(std::make_unique<colo::Engine>(nc));
+
+    ClusterResult out;
+    out.placement = policy->name();
+
+    driver::Pool pool(cfg.threads);
+    sim::Time t = 0;
+    while (true) {
+        t = std::min(t + cfg.epoch, cfg.maxDuration);
+
+        // Advance every node to the epoch boundary in parallel — in
+        // keep-services mode, so nodes whose apps finished (or that
+        // never had any) keep serving, keep reporting QoS, and stay
+        // valid migration targets. Each job touches only its own
+        // engine; exceptions propagate from the lowest node index so
+        // failure behavior cannot race.
+        std::vector<std::exception_ptr> errors(engines.size());
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            pool.submit([this, i, t, &errors] {
+                try {
+                    engines[i]->advanceUntil(
+                        t, /*keep_services_running=*/true);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+        for (auto &err : errors)
+            if (err)
+                std::rethrow_exception(err);
+
+        // The experiment ends when every app everywhere has finished
+        // (services-only nodes are vacuously done) or the horizon is
+        // reached.
+        const bool all_apps_done = std::all_of(
+            engines.begin(), engines.end(),
+            [](const auto &engine) { return engine->appsFinished(); });
+        if (all_apps_done || t >= cfg.maxDuration)
+            break;
+
+        // Placement acts at the barrier, on one thread.
+        for (const auto &decision :
+             policy->rebalance(gatherStatuses(), t))
+            applyMigration(decision, t, out);
+    }
+
+    out.nodes.reserve(engines.size());
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        NodeResult nr;
+        nr.name = nodeNames[i];
+        nr.seed = nodeConfigs[i].seed;
+        nr.result = engines[i]->finalize();
+        out.nodes.push_back(std::move(nr));
+    }
+
+    double worst_ratio = 0.0;
+    double met_sum = 0.0;
+    std::size_t met_n = 0;
+    double inacc = 0.0, rel = 0.0;
+    int finished = 0, total = 0, cores = 0;
+    for (const auto &nr : out.nodes) {
+        for (const auto &svc : nr.result.services) {
+            const double ratio = svc.qosUs > 0.0
+                ? svc.meanIntervalP99Us / svc.qosUs
+                : 0.0;
+            worst_ratio = std::max(worst_ratio, ratio);
+            met_sum += svc.qosMetFraction;
+            ++met_n;
+        }
+        for (const auto &app : nr.result.apps) {
+            inacc += app.inaccuracy;
+            rel += app.relativeExecTime;
+            if (app.finished)
+                ++finished;
+            ++total;
+        }
+        cores += nr.result.maxCoresReclaimedTotal;
+    }
+    out.runtime = out.nodes[0].result.runtime;
+    out.worstServiceRatio = worst_ratio;
+    out.meanQosMetFraction =
+        met_n ? met_sum / static_cast<double>(met_n) : 0.0;
+    out.meanInaccuracy =
+        total ? inacc / static_cast<double>(total) : 0.0;
+    out.meanRelativeExecTime =
+        total ? rel / static_cast<double>(total) : 0.0;
+    out.appsFinished = finished;
+    out.appsTotal = total;
+    out.totalMaxCoresReclaimed = cores;
+    return out;
+}
+
+std::vector<ClusterResult>
+runClusters(const std::vector<ClusterConfig> &configs,
+            const driver::SweepOptions &sweep_opts)
+{
+    driver::Sweep sweep(sweep_opts);
+    util::inform("cluster: running ", configs.size(),
+                 " experiments on ", sweep.threadCount(), " threads");
+    return sweep.mapItems(
+        configs,
+        [](const ClusterConfig &cfg, const driver::TaskContext &) {
+            // One cluster per sweep worker: run its nodes serially
+            // so the sweep's parallelism is not multiplied. The
+            // config's own seed governs the experiment (the task
+            // seed is deliberately unused), so a batch equals the
+            // same configs run one by one.
+            ClusterConfig serial = cfg;
+            serial.threads = 1;
+            Cluster cluster(std::move(serial));
+            return cluster.run();
+        });
+}
+
+util::TextTable
+clusterTable(const std::vector<std::string> &labels,
+             const std::vector<ClusterResult> &results)
+{
+    if (labels.size() != results.size())
+        util::panic("clusterTable: ", labels.size(), " labels for ",
+                    results.size(), " results");
+    util::TextTable table({"experiment", "runtime", "placement",
+                           "worst p99/QoS", "met%", "inaccuracy",
+                           "migrations", "apps done", "cores"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ClusterResult &r = results[i];
+        table.addRow({labels[i], r.runtime, r.placement,
+                      util::fmt(r.worstServiceRatio, 2) + "x",
+                      util::fmtPct(r.meanQosMetFraction, 0),
+                      util::fmtPct(r.meanInaccuracy, 2),
+                      std::to_string(r.migrations.size()),
+                      std::to_string(r.appsFinished) + "/" +
+                          std::to_string(r.appsTotal),
+                      std::to_string(r.totalMaxCoresReclaimed)});
+    }
+    return table;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::nodes(std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        cfg.nodes.push_back(NodeSpec{});
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::node(std::string name)
+{
+    NodeSpec spec;
+    spec.name = std::move(name);
+    cfg.nodes.push_back(std::move(spec));
+    return *this;
+}
+
+NodeSpec &
+ClusterConfigBuilder::lastNode()
+{
+    if (cfg.nodes.empty())
+        util::fatal("declare a node (node()/nodes()) before "
+                    "configuring node-scoped properties");
+    return cfg.nodes.back();
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::nodeSpec(server::ServerSpec spec)
+{
+    lastNode().spec = std::move(spec);
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::service(services::ServiceKind kind,
+                              colo::Scenario scenario)
+{
+    return service("", kind, std::move(scenario));
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::service(std::string name,
+                              services::ServiceKind kind,
+                              colo::Scenario scenario)
+{
+    colo::ServiceSpec spec;
+    spec.kind = kind;
+    spec.scenario = std::move(scenario);
+    spec.name = std::move(name);
+    lastNode().services.push_back(std::move(spec));
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::serviceOnAll(services::ServiceKind kind,
+                                   colo::Scenario scenario)
+{
+    if (cfg.nodes.empty())
+        util::fatal("declare nodes before serviceOnAll()");
+    for (auto &node : cfg.nodes) {
+        colo::ServiceSpec spec;
+        spec.kind = kind;
+        spec.scenario = scenario;
+        node.services.push_back(std::move(spec));
+    }
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::app(const std::string &name)
+{
+    cfg.apps.push_back(name);
+    cfg.initialVariants.push_back(0);
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::app(const std::string &name, int initialVariant)
+{
+    cfg.apps.push_back(name);
+    cfg.initialVariants.push_back(initialVariant);
+    anyVariantPinned = true;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::apps(const std::vector<std::string> &names)
+{
+    for (const auto &name : names)
+        app(name);
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::runtime(core::RuntimeKind kind)
+{
+    cfg.runtime = kind;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::arbiter(core::ArbiterKind kind)
+{
+    cfg.arbiter = kind;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::placement(PlacementKind kind)
+{
+    cfg.placement = kind;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::epoch(sim::Time epoch)
+{
+    cfg.epoch = epoch;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::decisionInterval(sim::Time interval)
+{
+    cfg.decisionInterval = interval;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::slackThreshold(double threshold)
+{
+    cfg.slackThreshold = threshold;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::tick(sim::Time tick)
+{
+    cfg.tick = tick;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::maxDuration(sim::Time duration)
+{
+    cfg.maxDuration = duration;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::cachePartitioning(bool enable)
+{
+    cfg.enableCachePartitioning = enable;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::seed(std::uint64_t seed)
+{
+    cfg.seed = seed;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::threads(unsigned threads)
+{
+    cfg.threads = threads;
+    return *this;
+}
+
+ClusterConfig
+ClusterConfigBuilder::build() const
+{
+    ClusterConfig built = cfg;
+    if (!anyVariantPinned)
+        built.initialVariants.clear();
+    validateClusterConfig(built);
+    return built;
+}
+
+} // namespace cluster
+} // namespace pliant

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The cluster layer: N simulated nodes, each running its own
+ * colo::Engine (local control loop), under one global placement /
+ * arbitration layer — the ROADMAP's multi-node sharding step.
+ *
+ * A Cluster owns one Engine per NodeSpec. Execution proceeds in
+ * *cluster decision epochs*: every live node advances to the next
+ * epoch boundary in parallel through a driver::Pool, then the
+ * PlacementPolicy inspects each node's per-service ServiceReport
+ * vector and may migrate an approximate app between nodes
+ * (checkpoint/restore of its execution state). Three properties
+ * make cluster experiments reproducible and regression-testable:
+ *
+ *  - per-node seeds derive from (cluster seed, node index) via
+ *    SplitMix64 (driver::taskSeed), so results are byte-identical at
+ *    any worker thread count;
+ *  - each engine is only ever touched by one job per epoch, and all
+ *    placement decisions happen at the epoch barrier on one thread;
+ *  - a single-node Cluster is byte-identical to a bare colo::Engine
+ *    run of nodeConfig(0) — the epoch chunking is invisible.
+ */
+
+#ifndef PLIANT_CLUSTER_CLUSTER_HH
+#define PLIANT_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hh"
+#include "colo/engine.hh"
+#include "driver/sweep.hh"
+
+namespace pliant {
+namespace cluster {
+
+/** One simulated node of the cluster. */
+struct NodeSpec
+{
+    /** Node name for reports; empty defaults to "node<i>". */
+    std::string name;
+
+    /** Hardware platform of this node. */
+    server::ServerSpec spec;
+
+    /** Interactive tenants pinned to this node. */
+    std::vector<colo::ServiceSpec> services;
+};
+
+/** Cluster-wide experiment configuration. */
+struct ClusterConfig
+{
+    std::vector<NodeSpec> nodes;
+
+    /** Catalog names of the approximate apps to place. */
+    std::vector<std::string> apps;
+
+    /** Optional per-app starting variants (parallel to `apps`). */
+    std::vector<int> initialVariants;
+
+    core::RuntimeKind runtime = core::RuntimeKind::Pliant;
+    core::ArbiterKind arbiter = core::ArbiterKind::RoundRobin;
+    sim::Time decisionInterval = sim::kSecond;
+    double slackThreshold = 0.10;
+    sim::Time tick = 10 * sim::kMillisecond;
+    sim::Time maxDuration = 600 * sim::kSecond;
+    bool enableCachePartitioning = false;
+
+    /** How apps land on nodes, and whether they move. */
+    PlacementKind placement = PlacementKind::Static;
+
+    /**
+     * Cluster decision epoch: the placement layer acts at this
+     * period. Must be at least the per-node decision interval.
+     */
+    sim::Time epoch = 5 * sim::kSecond;
+
+    std::uint64_t seed = 1;
+
+    /** Worker threads for node execution; 0 = Pool default. */
+    unsigned threads = 0;
+};
+
+/**
+ * Validate a ClusterConfig (throws util::FatalError): at least one
+ * node, at least one app, every node hosts a service, unique node
+ * names, valid epoch, plus the per-app catalog/variant checks shared
+ * with the single-node layer.
+ */
+void validateClusterConfig(const ClusterConfig &cfg);
+
+/** One recorded migration. */
+struct MigrationEvent
+{
+    sim::Time t = 0;
+    std::string app;
+    std::size_t from = 0;
+    std::size_t to = 0;
+};
+
+/** One node's slice of a cluster outcome. */
+struct NodeResult
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    /** Apps this node hosted at the end of the run. */
+    colo::ColoResult result;
+};
+
+/** Full cluster outcome: per-node results plus cluster rollups. */
+struct ClusterResult
+{
+    std::string runtime;
+    std::string placement;
+    std::vector<NodeResult> nodes;
+    std::vector<MigrationEvent> migrations;
+
+    /** Worst mean-interval p99/QoS ratio over every service. */
+    double worstServiceRatio = 0.0;
+
+    /** Mean of qosMetFraction over every service on every node. */
+    double meanQosMetFraction = 0.0;
+
+    /** Mean final inaccuracy over all apps (each counted once). */
+    double meanInaccuracy = 0.0;
+
+    /** Mean relative execution time over all apps. */
+    double meanRelativeExecTime = 0.0;
+
+    int appsFinished = 0;
+    int appsTotal = 0;
+
+    /** Sum over nodes of the max cores simultaneously reclaimed. */
+    int totalMaxCoresReclaimed = 0;
+};
+
+/**
+ * Fluent builder for ClusterConfig. node() starts a node; service()
+ * attaches a tenant to the most recently started node. Example:
+ *
+ *   ClusterConfig cfg =
+ *       ClusterConfigBuilder()
+ *           .nodes(3)
+ *           .serviceOnAll(services::ServiceKind::Memcached,
+ *                         Scenario::constant(0.70))
+ *           .apps({"canneal", "bayesian", "snp"})
+ *           .placement(PlacementKind::QosAware)
+ *           .runtime(core::RuntimeKind::Pliant)
+ *           .seed(71)
+ *           .build();
+ */
+class ClusterConfigBuilder
+{
+  public:
+    ClusterConfigBuilder() = default;
+
+    /** Append `count` nodes with default server specs. */
+    ClusterConfigBuilder &nodes(std::size_t count);
+
+    /** Start a new node (service() calls attach to it). */
+    ClusterConfigBuilder &node(std::string name = "");
+
+    /** Set the most recent node's server spec. */
+    ClusterConfigBuilder &nodeSpec(server::ServerSpec spec);
+
+    /** Attach a tenant to the most recent node. */
+    ClusterConfigBuilder &service(services::ServiceKind kind,
+                                  colo::Scenario scenario);
+
+    /** Attach a named tenant to the most recent node. */
+    ClusterConfigBuilder &service(std::string name,
+                                  services::ServiceKind kind,
+                                  colo::Scenario scenario);
+
+    /** Attach the same tenant to every node declared so far. */
+    ClusterConfigBuilder &serviceOnAll(services::ServiceKind kind,
+                                       colo::Scenario scenario);
+
+    ClusterConfigBuilder &app(const std::string &name);
+    ClusterConfigBuilder &app(const std::string &name,
+                              int initialVariant);
+    ClusterConfigBuilder &apps(const std::vector<std::string> &names);
+
+    ClusterConfigBuilder &runtime(core::RuntimeKind kind);
+    ClusterConfigBuilder &arbiter(core::ArbiterKind kind);
+    ClusterConfigBuilder &placement(PlacementKind kind);
+    ClusterConfigBuilder &epoch(sim::Time epoch);
+    ClusterConfigBuilder &decisionInterval(sim::Time interval);
+    ClusterConfigBuilder &slackThreshold(double threshold);
+    ClusterConfigBuilder &tick(sim::Time tick);
+    ClusterConfigBuilder &maxDuration(sim::Time duration);
+    ClusterConfigBuilder &cachePartitioning(bool enable = true);
+    ClusterConfigBuilder &seed(std::uint64_t seed);
+    ClusterConfigBuilder &threads(unsigned threads);
+
+    /** Validate and return the config (throws util::FatalError). */
+    ClusterConfig build() const;
+
+  private:
+    NodeSpec &lastNode();
+
+    ClusterConfig cfg;
+    bool anyVariantPinned = false;
+};
+
+/**
+ * The cluster facade: construct from a validated config, run() once.
+ * Deterministic given the config; thread-count invariant.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(ClusterConfig cfg);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** Execute the cluster experiment to completion. */
+    ClusterResult run();
+
+    std::size_t nodeCount() const { return nodeConfigs.size(); }
+
+    /**
+     * The exact ColoConfig node i runs (placement-assigned apps and
+     * derived seed included). Engine(nodeConfig(i)).run() on a
+     * single-node cluster reproduces run().nodes[0].result
+     * byte-for-byte — the regression contract.
+     */
+    const colo::ColoConfig &nodeConfig(std::size_t i) const
+    {
+        return nodeConfigs[i];
+    }
+
+    /** Resolved display name of node i. */
+    const std::string &nodeName(std::size_t i) const
+    {
+        return nodeNames[i];
+    }
+
+    /** Apps assigned to each node by the initial placement. */
+    const std::vector<std::size_t> &initialAssignment() const
+    {
+        return assignment;
+    }
+
+    /** Per-node seed derivation (SplitMix64 of seed and index). */
+    static std::uint64_t nodeSeed(std::uint64_t clusterSeed,
+                                  std::size_t node);
+
+  private:
+    std::vector<NodeStatus> gatherStatuses() const;
+    void applyMigration(const MigrationDecision &decision,
+                        sim::Time now, ClusterResult &out);
+
+    ClusterConfig cfg;
+    std::unique_ptr<PlacementPolicy> policy;
+    std::vector<std::size_t> assignment; ///< app index -> node index
+    std::vector<colo::ColoConfig> nodeConfigs;
+    std::vector<std::string> nodeNames;
+    std::vector<std::unique_ptr<colo::Engine>> engines;
+    bool ran = false;
+};
+
+/**
+ * Run a batch of cluster experiments through driver::Sweep, results
+ * in config order, byte-identical at any sweep thread count. Inside
+ * a sweep each cluster runs its nodes serially (threads = 1): the
+ * sweep already saturates the machine one cluster per worker.
+ */
+std::vector<ClusterResult>
+runClusters(const std::vector<ClusterConfig> &configs,
+            const driver::SweepOptions &sweep = driver::SweepOptions{});
+
+/**
+ * Aggregate cluster results into a util::TextTable, one row per
+ * result, labeled by the caller-provided row names.
+ */
+util::TextTable
+clusterTable(const std::vector<std::string> &labels,
+             const std::vector<ClusterResult> &results);
+
+} // namespace cluster
+} // namespace pliant
+
+#endif // PLIANT_CLUSTER_CLUSTER_HH

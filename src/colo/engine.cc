@@ -166,21 +166,42 @@ Engine::fairShare(const server::ServerSpec &spec, int n_apps,
     return std::max(1, spec.usableCores() / (n_apps + n_services));
 }
 
-Engine::Engine(ColoConfig config)
-    : cfg(std::move(config)), interference(cfg.spec),
-      partition(cfg.spec, 0)
+void
+validateAppList(const std::vector<std::string> &apps,
+                const std::vector<int> &initial_variants)
 {
-    if (cfg.apps.empty())
-        util::fatal("colocation experiment needs at least one app");
-    for (std::size_t i = 0; i < cfg.apps.size(); ++i)
-        for (std::size_t j = i + 1; j < cfg.apps.size(); ++j)
-            if (cfg.apps[i] == cfg.apps[j])
-                util::fatal("duplicate app '", cfg.apps[i],
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        for (std::size_t j = i + 1; j < apps.size(); ++j)
+            if (apps[i] == apps[j])
+                util::fatal("duplicate app '", apps[i],
                             "' in colocation config: each approximate "
                             "application may appear once");
-    if (!cfg.initialVariants.empty() &&
-        cfg.initialVariants.size() != cfg.apps.size())
-        util::fatal("initialVariants must be empty or match apps");
+    if (!initial_variants.empty() &&
+        initial_variants.size() != apps.size())
+        util::fatal("initialVariants has ", initial_variants.size(),
+                    " entries for ", apps.size(),
+                    " apps: the list must be empty or parallel to "
+                    "apps");
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        // Unknown names throw here, before any tenant is built.
+        const approx::AppProfile &prof = approx::findProfile(apps[i]);
+        if (initial_variants.empty())
+            continue;
+        const int v = initial_variants[i];
+        if (v < 0 || v >= static_cast<int>(prof.variants.size()))
+            util::fatal("initial variant ", v, " for app '", apps[i],
+                        "' is out of range: the catalog "
+                        "has variants 0..",
+                        prof.mostApproxIndex());
+    }
+}
+
+std::vector<ServiceSpec>
+validateConfig(const ColoConfig &cfg)
+{
+    if (cfg.apps.empty() && cfg.services.empty())
+        util::fatal("colocation experiment needs at least one app");
+    validateAppList(cfg.apps, cfg.initialVariants);
 
     // Normalize the tenant list: the legacy single-service fields
     // become one constant-load tenant, bit-identical to the original
@@ -194,23 +215,41 @@ Engine::Engine(ColoConfig config)
     }
     for (std::size_t i = 0; i < specs.size(); ++i)
         for (std::size_t j = i + 1; j < specs.size(); ++j)
-            if (specs[i].kind == specs[j].kind)
+            if (specs[i].resolvedName() == specs[j].resolvedName())
                 util::fatal("duplicate service '",
-                            services::serviceName(specs[i].kind),
-                            "' in colocation config: each interactive "
-                            "service may appear once");
+                            specs[i].resolvedName(),
+                            "' in colocation config: give same-kind "
+                            "tenants distinct instance names");
 
     const int n_apps = static_cast<int>(cfg.apps.size());
     const int n_services = static_cast<int>(specs.size());
-    appFairCores = fairShare(cfg.spec, n_apps, n_services);
-    const int service_cores =
-        cfg.spec.usableCores() - n_apps * appFairCores;
+    const int fair = Engine::fairShare(cfg.spec, n_apps, n_services);
+    const int service_cores = cfg.spec.usableCores() - n_apps * fair;
     if (service_cores < n_services)
         util::fatal("config leaves ", service_cores,
                     " fair cores for ", n_services,
                     " interactive service(s): reduce the number of "
                     "colocated apps or services (usable cores: ",
                     cfg.spec.usableCores(), ")");
+    return specs;
+}
+
+Engine::Engine(ColoConfig config)
+    : cfg(std::move(config)), interference(cfg.spec),
+      partition(cfg.spec, 0), clock(cfg.tick)
+{
+    const std::vector<ServiceSpec> specs = validateConfig(cfg);
+
+    const int n_apps = static_cast<int>(cfg.apps.size());
+    const int n_services = static_cast<int>(specs.size());
+    // On an app-less node (cluster placement assigned none) the
+    // per-app share is what a single app *would* get — it only
+    // matters when a migrant attaches, and without the max() that
+    // migrant would inherit usableCores/n_services, i.e. the whole
+    // app-side machine.
+    appFairCores = fairShare(cfg.spec, std::max(n_apps, 1), n_services);
+    const int service_cores =
+        cfg.spec.usableCores() - n_apps * appFairCores;
 
     const int base_cores = service_cores / n_services;
     const int extra = service_cores % n_services;
@@ -222,6 +261,7 @@ Engine::Engine(ColoConfig config)
 
         services::ServiceConfig scfg =
             services::defaultConfig(t.spec.kind);
+        scfg.name = t.spec.resolvedName();
         scfg.fairCores = t.fairCores;
         services::WorkloadConfig wl;
         wl.loadFraction = t.spec.scenario.loadAt(0);
@@ -244,10 +284,11 @@ Engine::Engine(ColoConfig config)
         approx::AppProfile prof = approx::findProfile(name);
         if (cfg.runtime == core::RuntimeKind::Precise)
             prof.dynrecOverhead = 0.0;
-        profiles.push_back(prof);
+        profiles.push_back(
+            std::make_unique<approx::AppProfile>(std::move(prof)));
     }
     for (std::size_t i = 0; i < profiles.size(); ++i) {
-        tasks.emplace_back(profiles[i], appFairCores, task_seed++);
+        tasks.emplace_back(*profiles[i], appFairCores, task_seed++);
         if (!cfg.initialVariants.empty())
             tasks.back().switchVariant(cfg.initialVariants[i]);
     }
@@ -267,43 +308,107 @@ Engine::Engine(ColoConfig config)
     } else {
         runtime = std::make_unique<core::PreciseRuntime>();
     }
-}
 
-Engine::~Engine() = default;
-
-ColoResult
-Engine::run()
-{
-    ColoResult result;
-    result.service = tenants[0].service->name();
-    result.runtime = runtime->name();
-    result.qosUs = tenants[0].service->qosUs();
-
-    sim::Clock clock(cfg.tick);
-    sim::Time next_decision = cfg.decisionInterval;
-    const sim::Time warmup = 5 * sim::kSecond;
-    int total_intervals = 0;
-
-    std::vector<int> max_reclaimed(tasks.size(), 0);
+    // Run state: the tick loop lives across advanceUntil() chunks.
+    nextDecision = cfg.decisionInterval;
+    maxReclaimed.assign(tasks.size(), 0);
 
     // Hot-loop buffers, allocated once: at 10 ms ticks a 600 s run is
     // 60k iterations, so per-tick vector churn dominated the old
     // harness's profile.
-    std::vector<approx::PressureVector> task_pressure(tasks.size());
-    std::vector<approx::PressureVector> svc_pressure(tenants.size());
-    std::vector<approx::PressureVector> peer_pressure;
-    peer_pressure.reserve(tenants.size());
-    std::vector<double> inflation(tenants.size(), 1.0);
-    std::vector<core::ServiceReport> reports(tenants.size());
+    taskPressure.resize(tasks.size());
+    svcPressure.resize(tenants.size());
+    peerPressure.reserve(tenants.size());
+    inflationBuf.assign(tenants.size(), 1.0);
+    reports.resize(tenants.size());
 
-    const auto allFinished = [&]() {
-        for (const auto &t : tasks)
-            if (!t.finished())
-                return false;
-        return true;
-    };
+    partial.service = tenants[0].service->name();
+    partial.runtime = runtime->name();
+    partial.qosUs = tenants[0].service->qosUs();
+    partial.rosterChanges.push_back({0, cfg.apps});
+}
 
-    while (!allFinished() && clock.now() < cfg.maxDuration) {
+void
+Engine::recordRoster()
+{
+    RosterEvent ev;
+    ev.t = clock.now();
+    ev.apps.reserve(profiles.size());
+    for (const auto &prof : profiles)
+        ev.apps.push_back(prof->name);
+    partial.rosterChanges.push_back(std::move(ev));
+}
+
+Engine::~Engine() = default;
+
+bool
+Engine::allFinished() const
+{
+    for (const auto &t : tasks)
+        if (!t.finished())
+            return false;
+    return true;
+}
+
+bool
+Engine::appsFinished() const
+{
+    return allFinished();
+}
+
+bool
+Engine::done() const
+{
+    return allFinished() || clock.now() >= cfg.maxDuration;
+}
+
+sim::Time
+Engine::now() const
+{
+    return clock.now();
+}
+
+const std::string &
+Engine::appName(std::size_t i) const
+{
+    return profiles[i]->name;
+}
+
+bool
+Engine::appFinished(std::size_t i) const
+{
+    return tasks[i].finished();
+}
+
+double
+Engine::appProgress(std::size_t i) const
+{
+    return tasks[i].progressFraction();
+}
+
+ColoResult
+Engine::run()
+{
+    advanceUntil(cfg.maxDuration);
+    return finalize();
+}
+
+bool
+Engine::advanceUntil(sim::Time until, bool keep_services_running)
+{
+    const sim::Time stop = std::min(until, cfg.maxDuration);
+    const sim::Time warmup = 5 * sim::kSecond;
+
+    // An idle-at-entry node (no unfinished apps) only advances in
+    // keep-services mode; a node whose apps finish mid-call always
+    // stops at that tick, so chunked execution can never add ticks a
+    // bare run() would not have executed.
+    const bool stop_when_apps_finish =
+        !keep_services_running || !allFinished();
+
+    while (clock.now() < stop) {
+        if (stop_when_apps_finish && allFinished())
+            break;
         const sim::Time tick_start = clock.now();
 
         // 0. Scenario layer: re-target every tenant's mean load.
@@ -315,25 +420,24 @@ Engine::run()
         //    experiences this tick. A service's co-runners are every
         //    approximate task plus every *other* service.
         for (std::size_t i = 0; i < tasks.size(); ++i)
-            task_pressure[i] = tasks[i].currentPressure();
+            taskPressure[i] = tasks[i].currentPressure();
         for (std::size_t s = 0; s < tenants.size(); ++s)
-            svc_pressure[s] = tenants[s].service->currentPressure();
+            svcPressure[s] = tenants[s].service->currentPressure();
         for (std::size_t s = 0; s < tenants.size(); ++s) {
-            peer_pressure.clear();
+            peerPressure.clear();
             for (std::size_t o = 0; o < tenants.size(); ++o)
                 if (o != s)
-                    peer_pressure.push_back(svc_pressure[o]);
+                    peerPressure.push_back(svcPressure[o]);
             const auto contention = interference.contentionMulti(
-                svc_pressure[s], peer_pressure, task_pressure,
-                partition);
-            inflation[s] = interference.inflation(
+                svcPressure[s], peerPressure, taskPressure, partition);
+            inflationBuf[s] = interference.inflation(
                 contention, tenants[s].service->config().sensitivity);
         }
 
         // 2. Advance the services and the approximate tasks.
         for (std::size_t s = 0; s < tenants.size(); ++s) {
             auto &ten = tenants[s];
-            ten.service->tick(cfg.tick, inflation[s], ten.tickBuf);
+            ten.service->tick(cfg.tick, inflationBuf[s], ten.tickBuf);
             ten.monitor->observe(ten.tickBuf.sampleUs);
             if (tick_start >= warmup) {
                 for (double sample : ten.tickBuf.sampleUs)
@@ -348,9 +452,9 @@ Engine::run()
 
         // 3. Decision interval boundary: close every monitoring
         //    window and let the runtime act on the joint report.
-        if (now >= next_decision) {
-            next_decision += cfg.decisionInterval;
-            ++total_intervals;
+        if (now >= nextDecision) {
+            nextDecision += cfg.decisionInterval;
+            ++totalIntervals;
             std::size_t focus = 0;
             double worst = -1.0;
             for (std::size_t s = 0; s < tenants.size(); ++s) {
@@ -383,11 +487,67 @@ Engine::run()
                 const int reclaimed =
                     tasks[i].fairCores() - tasks[i].cores();
                 tp.reclaimed.push_back(reclaimed);
-                max_reclaimed[i] = std::max(max_reclaimed[i], reclaimed);
+                maxReclaimed[i] = std::max(maxReclaimed[i], reclaimed);
             }
-            result.timeline.push_back(std::move(tp));
+            partial.timeline.push_back(std::move(tp));
         }
     }
+    return done();
+}
+
+approx::TaskState
+Engine::detachApp(std::size_t i)
+{
+    if (i >= tasks.size())
+        util::panic("detachApp(", i, ") with ", tasks.size(),
+                    " tasks");
+    // Settle the app's reclaimed-core debt: the services hand back
+    // every core they took from it, so this node's service/task
+    // ledger balances before the app leaves.
+    while (tasks[i].cores() < tasks[i].fairCores())
+        if (!actuator->returnCore(static_cast<int>(i)))
+            util::panic("core conservation violated while detaching '",
+                        profiles[i]->name, "'");
+    approx::TaskState state = tasks[i].checkpoint();
+    tasks.erase(tasks.begin() + static_cast<std::ptrdiff_t>(i));
+    profiles.erase(profiles.begin() + static_cast<std::ptrdiff_t>(i));
+    maxReclaimed.erase(maxReclaimed.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    taskPressure.resize(tasks.size());
+    runtime->onTaskRemoved(static_cast<int>(i));
+    recordRoster();
+    return state;
+}
+
+void
+Engine::attachApp(const approx::TaskState &state)
+{
+    for (const auto &prof : profiles)
+        if (prof->name == state.app)
+            util::fatal("app '", state.app,
+                        "' is already running on this node");
+    approx::AppProfile prof = approx::findProfile(state.app);
+    if (cfg.runtime == core::RuntimeKind::Precise)
+        prof.dynrecOverhead = 0.0;
+    profiles.push_back(
+        std::make_unique<approx::AppProfile>(std::move(prof)));
+    tasks.emplace_back(*profiles.back(), appFairCores, state);
+    maxReclaimed.push_back(0);
+    taskPressure.resize(tasks.size());
+    runtime->onTaskAdded();
+    recordRoster();
+}
+
+ColoResult
+Engine::finalize()
+{
+    if (finalized)
+        util::panic("Engine::finalize() called twice");
+    finalized = true;
+    ColoResult result = std::move(partial);
+    const sim::Time warmup = 5 * sim::kSecond;
+    const int total_intervals = totalIntervals;
+    const std::vector<int> &max_reclaimed = maxReclaimed;
 
     // Per-service summaries; [0] mirrors into the scalar fields.
     for (std::size_t s = 0; s < tenants.size(); ++s) {

@@ -46,6 +46,20 @@ struct ServiceSpec
 
     /** Deterministic load trace driving this service. */
     Scenario scenario;
+
+    /**
+     * Instance name; empty defaults to the kind name. Reports,
+     * traces, and tables key on this, so two shards of the same
+     * service kind ("mc-a", "mc-b") are expressible as long as their
+     * names differ.
+     */
+    std::string name;
+
+    /** The name reports and validation key on. */
+    std::string resolvedName() const
+    {
+        return name.empty() ? services::serviceName(kind) : name;
+    }
 };
 
 /** Experiment configuration. */
@@ -63,13 +77,22 @@ struct ColoConfig
 
     /**
      * The tenant list. When non-empty it overrides
-     * `service`/`loadFraction`; duplicate service kinds are
+     * `service`/`loadFraction`; duplicate *resolved names* are
      * rejected (their monitors and QoS targets would be
-     * indistinguishable in reports and traces).
+     * indistinguishable in reports and traces), but several tenants
+     * of the same kind are fine once given distinct names.
      */
     std::vector<ServiceSpec> services;
 
-    /** Catalog names of the colocated approximate applications. */
+    /**
+     * Catalog names of the colocated approximate applications. May
+     * be empty only when `services` is non-empty: a cluster node
+     * whose placement assigned it no apps still hosts its services
+     * (the cluster drives such nodes with
+     * advanceUntil(keep_services_running); a bare run() of an
+     * app-less config ends immediately, as there is no work to wait
+     * for).
+     */
     std::vector<std::string> apps;
 
     core::RuntimeKind runtime = core::RuntimeKind::Pliant;
@@ -95,6 +118,8 @@ struct ColoConfig
      * Optional per-app starting variants (parallel to `apps`). Used
      * by the Fig. 1 static exploration, where each selected variant
      * runs for the whole colocation; empty means all start precise.
+     * Validated up front: the list must match `apps` in size and
+     * every index must exist in the app's catalog variant list.
      */
     std::vector<int> initialVariants;
 
@@ -148,6 +173,19 @@ struct ServiceOutcome
     double qosMetFraction = 0.0;
 };
 
+/**
+ * One snapshot of the node's live app list. The timeline's per-app
+ * vectors (`TimePoint::variantOf`, `reclaimed`) are positional over
+ * the apps live at that instant; with migrations the list changes
+ * mid-run, and these events let consumers (e.g. the CSV writer)
+ * attribute every slot to the right application.
+ */
+struct RosterEvent
+{
+    sim::Time t = 0;
+    std::vector<std::string> apps;
+};
+
 /** Full experiment outcome. */
 struct ColoResult
 {
@@ -194,12 +232,44 @@ struct ColoResult
 
     std::vector<AppOutcome> apps;
     std::vector<TimePoint> timeline;
+
+    /**
+     * App-list snapshots: [0] is the initial roster (t = 0); one
+     * more entry per migration in or out. A TimePoint at time t is
+     * positional over the latest roster with `event.t < t` (points
+     * are recorded before the barrier that migrates).
+     */
+    std::vector<RosterEvent> rosterChanges;
 };
 
 /**
+ * Validate an app list and its optional parallel initial-variant
+ * list against the catalog: duplicates, unknown names, and
+ * out-of-range variant indices all throw util::FatalError. Shared
+ * by the single-node and cluster validation passes.
+ */
+void validateAppList(const std::vector<std::string> &apps,
+                     const std::vector<int> &initialVariants);
+
+/**
+ * Validate a ColoConfig and return the normalized tenant list (the
+ * legacy single-service fields become one constant-load tenant).
+ * Throws util::FatalError on: no apps with no services, duplicate
+ * apps, unknown catalog names, initialVariants size or range
+ * mismatches, duplicate resolved service names, and fair-core
+ * starvation. Engine's constructor and the builders both run this
+ * pass, so every error surfaces before the tick loop starts.
+ */
+std::vector<ServiceSpec> validateConfig(const ColoConfig &cfg);
+
+/**
  * The colocation engine: construct from a validated config, then
- * call run() once. Fully deterministic given the config (seed
- * included).
+ * either call run() once, or drive it incrementally with
+ * advanceUntil() + finalize() (the cluster layer's epoch loop).
+ * Fully deterministic given the config (seed included), and
+ * indifferent to how the run is chunked: any sequence of
+ * advanceUntil() calls ending at maxDuration produces the same
+ * bytes as one run().
  */
 class Engine
 {
@@ -212,6 +282,81 @@ class Engine
 
     /** Execute the experiment to completion. */
     ColoResult run();
+
+    /**
+     * Advance the tick loop until simulated time `until` (clamped to
+     * maxDuration). By default the loop also stops once every app
+     * has finished — run()'s semantics.
+     *
+     * With `keep_services_running`, a call that *starts* with no
+     * unfinished apps (an idle cluster node, or one whose apps
+     * completed earlier) still simulates its interactive services up
+     * to `until`, so the node keeps serving, keeps reporting QoS,
+     * and can receive migrants. A call during which the apps
+     * transition to finished still stops at that exact tick — which
+     * is what keeps a single-node Cluster byte-identical to a bare
+     * run().
+     * @return done().
+     */
+    bool advanceUntil(sim::Time until,
+                      bool keep_services_running = false);
+
+    /** Whether every app has finished (vacuously true with none). */
+    bool appsFinished() const;
+
+    /** Whether the run is over (apps finished or duration cap hit). */
+    bool done() const;
+
+    /** Current simulated time. */
+    sim::Time now() const;
+
+    /**
+     * Summarize the run into a ColoResult. Call once, after the run
+     * is done (run() does both).
+     */
+    ColoResult finalize();
+
+    /**
+     * Per-service reports from the most recently closed decision
+     * interval (empty before the first interval closes). The cluster
+     * placement layer reads these to compare node pressure.
+     */
+    const std::vector<core::ServiceReport> &lastReports() const
+    {
+        return reports;
+    }
+
+    /** Live app introspection (indices into the current task list). */
+    std::size_t appCount() const { return tasks.size(); }
+    const std::string &appName(std::size_t i) const;
+    bool appFinished(std::size_t i) const;
+    double appProgress(std::size_t i) const;
+
+    /**
+     * Migration support: detach the app at index `i`, returning its
+     * serialized execution state. Any cores reclaimed from the app
+     * are settled (handed back from the services) first, so the
+     * source node's service/task core ledger stays balanced. The
+     * runtime is notified via onTaskRemoved().
+     */
+    approx::TaskState detachApp(std::size_t i);
+
+    /**
+     * Attach a migrated app: restores the checkpoint as a new task
+     * at this node's per-app fair share and notifies the runtime via
+     * onTaskAdded(). The profile is resolved from the catalog by
+     * state.app.
+     *
+     * Modeling assumption: app-side allocations are normalized per
+     * app — the migrant executes at the destination's standard
+     * per-app fair share, as if the batch containers were re-split
+     * on arrival. The service-side allocation is untouched, and the
+     * migrant's extra pressure is priced by the interference model
+     * (services on a fuller node get slower, exactly the signal the
+     * placement layer watches); the aggregate app-side core count is
+     * not re-balanced against the original fair split.
+     */
+    void attachApp(const approx::TaskState &state);
 
     /**
      * Fair core allocation per app container with one interactive
@@ -239,16 +384,39 @@ class Engine
         int fairCores = 0;
     };
 
+    bool allFinished() const;
+    void recordRoster();
+
     ColoConfig cfg;
     std::vector<Tenant> tenants;
-    /** Profile copies (dynrec overhead zeroed for the baseline). */
-    std::vector<approx::AppProfile> profiles;
+    /**
+     * Profile copies (dynrec overhead zeroed for the baseline),
+     * heap-allocated so tasks' profile pointers survive vector
+     * growth when a migrant attaches.
+     */
+    std::vector<std::unique_ptr<approx::AppProfile>> profiles;
     std::vector<approx::ApproxTask> tasks;
     server::InterferenceModel interference;
     server::CachePartition partition;
     std::unique_ptr<ServerActuator> actuator;
     std::unique_ptr<core::Runtime> runtime;
     int appFairCores = 0;
+
+    // --- run state, persistent across advanceUntil() chunks ---
+    sim::Clock clock;
+    sim::Time nextDecision = 0;
+    int totalIntervals = 0;
+    bool finalized = false;
+    /** Per-task max cores reclaimed (parallel to `tasks`). */
+    std::vector<int> maxReclaimed;
+    /** Hot-loop buffers, allocated once (see run loop comment). */
+    std::vector<approx::PressureVector> taskPressure;
+    std::vector<approx::PressureVector> svcPressure;
+    std::vector<approx::PressureVector> peerPressure;
+    std::vector<double> inflationBuf;
+    std::vector<core::ServiceReport> reports;
+    /** Partially-built result: identity fields + growing timeline. */
+    ColoResult partial;
 };
 
 /**

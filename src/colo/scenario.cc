@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/logging.hh"
 
 namespace pliant {
 namespace colo {
@@ -18,6 +23,8 @@ scenarioName(ScenarioKind kind)
         return "flash-crowd";
       case ScenarioKind::Step:
         return "step";
+      case ScenarioKind::Trace:
+        return "trace";
     }
     return "unknown";
 }
@@ -63,6 +70,23 @@ Scenario::loadAt(sim::Time t) const
 
       case ScenarioKind::Step:
         return t < at ? baseLoad : peakLoad;
+
+      case ScenarioKind::Trace: {
+        if (points.empty())
+            return baseLoad;
+        if (t <= points.front().t)
+            return points.front().load;
+        if (t >= points.back().t)
+            return points.back().load;
+        // First knot strictly after t; interpolate on [prev, next].
+        const auto next = std::upper_bound(
+            points.begin(), points.end(), t,
+            [](sim::Time lhs, const LoadPoint &p) { return lhs < p.t; });
+        const auto prev = next - 1;
+        const double f = static_cast<double>(t - prev->t) /
+                         static_cast<double>(next->t - prev->t);
+        return prev->load + (next->load - prev->load) * f;
+      }
     }
     return baseLoad;
 }
@@ -111,6 +135,87 @@ Scenario::step(double base, double level, sim::Time at)
     s.peakLoad = level;
     s.at = at;
     return s;
+}
+
+Scenario
+Scenario::trace(std::vector<LoadPoint> points)
+{
+    if (points.empty())
+        util::fatal("trace scenario needs at least one (time, load) "
+                    "point");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].load < 0.0)
+            util::fatal("trace scenario point ", i,
+                        " has negative load ", points[i].load);
+        if (i > 0 && points[i].t <= points[i - 1].t)
+            util::fatal("trace scenario times must be strictly "
+                        "increasing: point ",
+                        i, " at ", sim::toSeconds(points[i].t),
+                        " s does not follow ",
+                        sim::toSeconds(points[i - 1].t), " s");
+    }
+    Scenario s;
+    s.kind = ScenarioKind::Trace;
+    s.points = std::move(points);
+    s.baseLoad = s.points.front().load;
+    return s;
+}
+
+Scenario
+Scenario::traceFromCsv(std::istream &in)
+{
+    std::vector<LoadPoint> points;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::stringstream row(line);
+        std::string t_field, load_field;
+        if (!std::getline(row, t_field, ',') ||
+            !std::getline(row, load_field))
+            util::fatal("trace CSV line ", lineno,
+                        ": expected 't_seconds,load', got '", line,
+                        "'");
+        // A field parses only if stod consumes everything up to
+        // trailing whitespace — '30sec' or '0.5;0.9' is malformed,
+        // not silently truncated.
+        const auto consumed = [](const std::string &field,
+                                 std::size_t end) {
+            return field.find_first_not_of(" \t\r", end) ==
+                   std::string::npos;
+        };
+        try {
+            std::size_t t_end = 0, load_end = 0;
+            const double t_s = std::stod(t_field, &t_end);
+            const double load = std::stod(load_field, &load_end);
+            if (!consumed(t_field, t_end) ||
+                !consumed(load_field, load_end))
+                throw std::invalid_argument("trailing garbage");
+            points.push_back({sim::fromSeconds(t_s), load});
+        } catch (const std::exception &) {
+            // Non-numeric lines before the first data point are
+            // header lines; after it they are malformed rows.
+            if (points.empty())
+                continue;
+            util::fatal("trace CSV line ", lineno,
+                        ": non-numeric fields in '", line, "'");
+        }
+    }
+    if (points.empty())
+        util::fatal("trace CSV contains no (time, load) points");
+    return trace(std::move(points));
+}
+
+Scenario
+Scenario::traceFromCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open trace CSV '", path, "'");
+    return traceFromCsv(in);
 }
 
 } // namespace colo

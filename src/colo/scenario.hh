@@ -9,19 +9,23 @@
  * stochastic texture of real traffic (mean-reverting noise, short
  * bursts) composes on top of the deterministic macro pattern.
  *
- * Four patterns cover the shapes datacenter consolidation studies
+ * Five patterns cover the shapes datacenter consolidation studies
  * care about:
  *
  *  - Constant:   the paper's fixed offered load,
  *  - Diurnal:    a day/night sinusoid around the base load,
  *  - FlashCrowd: base -> linear ramp -> peak hold -> linear decay,
- *  - Step:       an abrupt, persistent change of the base load.
+ *  - Step:       an abrupt, persistent change of the base load,
+ *  - Trace:      piecewise-linear replay of measured (time, load)
+ *                points, loadable from CSV.
  */
 
 #ifndef PLIANT_COLO_SCENARIO_HH
 #define PLIANT_COLO_SCENARIO_HH
 
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/time.hh"
 
@@ -29,7 +33,14 @@ namespace pliant {
 namespace colo {
 
 /** The supported deterministic load patterns. */
-enum class ScenarioKind { Constant, Diurnal, FlashCrowd, Step };
+enum class ScenarioKind { Constant, Diurnal, FlashCrowd, Step, Trace };
+
+/** One knot of a Trace scenario's piecewise-linear load curve. */
+struct LoadPoint
+{
+    sim::Time t = 0;
+    double load = 0.0;
+};
 
 /** Printable name of a scenario kind. */
 std::string scenarioName(ScenarioKind kind);
@@ -68,6 +79,13 @@ struct Scenario
     sim::Time decay = 20 * sim::kSecond;
 
     /**
+     * Trace: knots of the piecewise-linear load curve, strictly
+     * increasing in time. Before the first knot the first load
+     * holds; after the last knot the last load holds.
+     */
+    std::vector<LoadPoint> points;
+
+    /**
      * Mean offered-load fraction at simulated time t. Pure and
      * deterministic: the same (scenario, t) always yields the same
      * load, which is what keeps scenario-driven experiments
@@ -82,6 +100,24 @@ struct Scenario
                                sim::Time ramp, sim::Time hold,
                                sim::Time decay);
     static Scenario step(double base, double level, sim::Time at);
+
+    /**
+     * Piecewise-linear replay of the given (time, load) knots.
+     * Throws FatalError when the list is empty, times are not
+     * strictly increasing, or a load is negative.
+     */
+    static Scenario trace(std::vector<LoadPoint> points);
+
+    /**
+     * Load a Trace scenario from CSV: one `t_seconds,load` pair per
+     * line; blank lines, `#` comments, and a non-numeric header line
+     * are skipped. Throws FatalError on malformed rows or when no
+     * points remain.
+     */
+    static Scenario traceFromCsv(std::istream &in);
+
+    /** traceFromCsv() over the named file. */
+    static Scenario traceFromCsvFile(const std::string &path);
 };
 
 } // namespace colo

@@ -11,13 +11,40 @@ namespace colo {
 void
 writeTimelineCsv(std::ostream &os, const ColoResult &result)
 {
+    // The per-app columns cover every app that was ever live on this
+    // node, in first-appearance order. Without migrations this is
+    // exactly result.apps and the output is unchanged; with them,
+    // each row's positional variant/reclaimed slots are attributed
+    // through the roster active at that row's time, and apps not
+    // present at that instant print "-".
+    std::vector<std::string> columns;
+    const auto column_of = [&](const std::string &name) {
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            if (columns[c] == name)
+                return c;
+        columns.push_back(name);
+        return columns.size() - 1;
+    };
+    std::vector<RosterEvent> rosters = result.rosterChanges;
+    if (rosters.empty()) {
+        // Results predating roster tracking: the final app list was
+        // the only roster.
+        RosterEvent ev;
+        for (const auto &app : result.apps)
+            ev.apps.push_back(app.name);
+        rosters.push_back(std::move(ev));
+    }
+    for (const auto &ev : rosters)
+        for (const auto &name : ev.apps)
+            column_of(name);
+
     util::CsvWriter csv(os);
     std::vector<std::string> header{"t_s",      "p99_us",
                                     "p99_over_qos", "load",
                                     "decision", "partition_ways"};
-    for (const auto &app : result.apps) {
-        header.push_back(app.name + "_variant");
-        header.push_back(app.name + "_reclaimed");
+    for (const auto &name : columns) {
+        header.push_back(name + "_variant");
+        header.push_back(name + "_reclaimed");
     }
     for (std::size_t s = 1; s < result.services.size(); ++s) {
         header.push_back(result.services[s].name + "_p99_us");
@@ -25,7 +52,15 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
     }
     csv.writeRow(header);
 
+    std::size_t roster = 0;
     for (const auto &tp : result.timeline) {
+        // Points are recorded before the epoch barrier that
+        // migrates, so only strictly earlier roster changes apply.
+        while (roster + 1 < rosters.size() &&
+               rosters[roster + 1].t < tp.t)
+            ++roster;
+        const auto &live = rosters[roster].apps;
+
         std::vector<std::string> row{
             util::fmt(sim::toSeconds(tp.t), 3),
             util::fmt(tp.p99Us, 1),
@@ -33,9 +68,17 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
             util::fmt(tp.loadFraction, 4),
             core::decisionName(tp.decision.kind),
             std::to_string(tp.partitionWays)};
-        for (std::size_t a = 0; a < result.apps.size(); ++a) {
-            row.push_back(std::to_string(tp.variantOf[a]));
-            row.push_back(std::to_string(tp.reclaimed[a]));
+        std::vector<std::string> variant(columns.size(), "-");
+        std::vector<std::string> reclaimed(columns.size(), "-");
+        for (std::size_t a = 0;
+             a < live.size() && a < tp.variantOf.size(); ++a) {
+            const std::size_t c = column_of(live[a]);
+            variant[c] = std::to_string(tp.variantOf[a]);
+            reclaimed[c] = std::to_string(tp.reclaimed[a]);
+        }
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            row.push_back(variant[c]);
+            row.push_back(reclaimed[c]);
         }
         for (std::size_t s = 1; s < tp.services.size(); ++s) {
             row.push_back(util::fmt(tp.services[s].p99Us, 1));

@@ -26,6 +26,27 @@ LearnedRuntime::LearnedRuntime(Actuator &actuator, LearnedParams params,
         : 0;
 }
 
+void
+LearnedRuntime::onTaskRemoved(int idx)
+{
+    models.erase(models.begin() + idx);
+    adjustCursorAfterRemoval(rrPointer, idx, act.taskCount());
+}
+
+void
+LearnedRuntime::onTaskAdded()
+{
+    // The migrant arrives with an empty model: what it did to the
+    // source node's tail says nothing about this node's tenants.
+    TaskModel model;
+    const int t = act.taskCount() - 1;
+    const std::size_t variants =
+        static_cast<std::size_t>(act.mostApproxOf(t)) + 1;
+    model.ratio.assign(variants, 0.0);
+    model.samples.assign(variants, 0);
+    models.push_back(std::move(model));
+}
+
 double
 LearnedRuntime::estimate(int task, int variant) const
 {

@@ -65,6 +65,9 @@ class LearnedRuntime : public Runtime
     Decision
     onInterval(const std::vector<ServiceReport> &services) override;
 
+    void onTaskRemoved(int idx) override;
+    void onTaskAdded() override;
+
     std::string name() const override { return "learned"; }
 
     /**

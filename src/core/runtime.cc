@@ -121,6 +121,23 @@ PliantRuntime::onInterval(const std::vector<ServiceReport> &services)
     return Decision{};
 }
 
+void
+adjustCursorAfterRemoval(int &cursor, int removed_idx, int task_count)
+{
+    if (cursor > removed_idx)
+        --cursor;
+    if (task_count == 0)
+        cursor = 0;
+    else if (cursor >= task_count)
+        cursor %= task_count;
+}
+
+void
+PliantRuntime::onTaskRemoved(int idx)
+{
+    adjustCursorAfterRemoval(rrPointer, idx, act.taskCount());
+}
+
 bool
 PliantRuntime::canEscalate(int t) const
 {

@@ -118,6 +118,16 @@ struct ServiceReport
 double worstRatio(const std::vector<ServiceReport> &services);
 
 /**
+ * Remap a round-robin cursor after the task at `removed_idx` left a
+ * task list that now holds `task_count` entries: the cursor keeps
+ * pointing at the same task when one before it departs, and wraps
+ * when it falls off the end. Shared by every controller with a
+ * rotating victim pointer.
+ */
+void adjustCursorAfterRemoval(int &cursor, int removed_idx,
+                              int task_count);
+
+/**
  * Base interface: a runtime is invoked once per decision interval
  * with one report per latency-critical service. A violation on ANY
  * service must trigger the actuation path; reverts require slack on
@@ -139,6 +149,16 @@ class Runtime
      * override.
      */
     Decision onInterval(double p99_us, double qos_us);
+
+    /**
+     * Topology hooks for the cluster migration path: the engine calls
+     * these after removing the task at `idx` from, or appending a new
+     * task to, the actuator's task list (so taskCount() already
+     * reflects the change). Controllers with per-task state must
+     * remap it; the defaults are no-ops.
+     */
+    virtual void onTaskRemoved(int idx) { (void)idx; }
+    virtual void onTaskAdded() {}
 
     virtual std::string name() const = 0;
 };
@@ -173,6 +193,8 @@ class PliantRuntime : public Runtime
 
     Decision
     onInterval(const std::vector<ServiceReport> &services) override;
+
+    void onTaskRemoved(int idx) override;
 
     std::string name() const override { return "pliant"; }
 

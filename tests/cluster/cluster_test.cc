@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Tests for the cluster layer:
+ *
+ *  - builder/config validation (zero-node clusters, service-less
+ *    nodes, bad epochs, duplicate node names);
+ *  - the regression contract: a single-node Cluster is byte-identical
+ *    to a bare colo::Engine run of the same node config;
+ *  - thread-count invariance: a 3-node QoS-aware placement run (with
+ *    migrations) is byte-identical at 1 and 6 worker threads, both
+ *    inside one Cluster and across a driver::Sweep batch;
+ *  - placement semantics: static round-robin and least-loaded LPT
+ *    assignments, and pressure-driven migration off a crowded node
+ *    with every app accounted for exactly once.
+ */
+
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "colo/trace.hh"
+#include "driver/sweep.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace pliant;
+using namespace pliant::cluster;
+
+constexpr sim::Time kS = sim::kSecond;
+
+/** Exact structural equality of two node results. */
+void
+expectIdenticalColo(const colo::ColoResult &a, const colo::ColoResult &b)
+{
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.overallP99Us, b.overallP99Us);
+    EXPECT_EQ(a.steadyP99Us, b.steadyP99Us);
+    EXPECT_EQ(a.meanIntervalP99Us, b.meanIntervalP99Us);
+    EXPECT_EQ(a.qosMetFraction, b.qosMetFraction);
+    EXPECT_EQ(a.maxCoresReclaimedTotal, b.maxCoresReclaimedTotal);
+    EXPECT_EQ(a.typicalCoresReclaimed, b.typicalCoresReclaimed);
+    ASSERT_EQ(a.services.size(), b.services.size());
+    for (std::size_t s = 0; s < a.services.size(); ++s) {
+        EXPECT_EQ(a.services[s].name, b.services[s].name);
+        EXPECT_EQ(a.services[s].overallP99Us,
+                  b.services[s].overallP99Us);
+        EXPECT_EQ(a.services[s].steadyP99Us, b.services[s].steadyP99Us);
+        EXPECT_EQ(a.services[s].meanIntervalP99Us,
+                  b.services[s].meanIntervalP99Us);
+        EXPECT_EQ(a.services[s].qosMetFraction,
+                  b.services[s].qosMetFraction);
+    }
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+        EXPECT_EQ(a.apps[i].finished, b.apps[i].finished);
+        EXPECT_EQ(a.apps[i].inaccuracy, b.apps[i].inaccuracy);
+        EXPECT_EQ(a.apps[i].relativeExecTime,
+                  b.apps[i].relativeExecTime);
+        EXPECT_EQ(a.apps[i].switches, b.apps[i].switches);
+    }
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].t, b.timeline[i].t);
+        EXPECT_EQ(a.timeline[i].p99Us, b.timeline[i].p99Us);
+        EXPECT_EQ(a.timeline[i].loadFraction,
+                  b.timeline[i].loadFraction);
+        EXPECT_EQ(a.timeline[i].variantOf, b.timeline[i].variantOf);
+        EXPECT_EQ(a.timeline[i].reclaimed, b.timeline[i].reclaimed);
+        ASSERT_EQ(a.timeline[i].services.size(),
+                  b.timeline[i].services.size());
+        for (std::size_t s = 0; s < a.timeline[i].services.size();
+             ++s) {
+            EXPECT_EQ(a.timeline[i].services[s].p99Us,
+                      b.timeline[i].services[s].p99Us);
+            EXPECT_EQ(a.timeline[i].services[s].loadFraction,
+                      b.timeline[i].services[s].loadFraction);
+        }
+    }
+}
+
+/** Exact structural equality of two cluster results. */
+void
+expectIdenticalCluster(const ClusterResult &a, const ClusterResult &b)
+{
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.placement, b.placement);
+    EXPECT_EQ(a.worstServiceRatio, b.worstServiceRatio);
+    EXPECT_EQ(a.meanQosMetFraction, b.meanQosMetFraction);
+    EXPECT_EQ(a.meanInaccuracy, b.meanInaccuracy);
+    EXPECT_EQ(a.meanRelativeExecTime, b.meanRelativeExecTime);
+    EXPECT_EQ(a.appsFinished, b.appsFinished);
+    EXPECT_EQ(a.appsTotal, b.appsTotal);
+    EXPECT_EQ(a.totalMaxCoresReclaimed, b.totalMaxCoresReclaimed);
+    ASSERT_EQ(a.migrations.size(), b.migrations.size());
+    for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+        EXPECT_EQ(a.migrations[i].t, b.migrations[i].t);
+        EXPECT_EQ(a.migrations[i].app, b.migrations[i].app);
+        EXPECT_EQ(a.migrations[i].from, b.migrations[i].from);
+        EXPECT_EQ(a.migrations[i].to, b.migrations[i].to);
+    }
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+        EXPECT_EQ(a.nodes[i].name, b.nodes[i].name);
+        EXPECT_EQ(a.nodes[i].seed, b.nodes[i].seed);
+        expectIdenticalColo(a.nodes[i].result, b.nodes[i].result);
+    }
+}
+
+/**
+ * The acceptance cluster: three memcached+nginx nodes, a flash crowd
+ * on node 0, six apps placed by the given policy. The precise
+ * runtime leaves the crowd unmitigated locally, so the QoS-aware
+ * policy must migrate.
+ */
+ClusterConfig
+acceptanceConfig(PlacementKind placement, core::RuntimeKind runtime,
+                 unsigned threads)
+{
+    // Background loads are low enough that, even under the precise
+    // baseline, only the flash-crowded node violates its QoS — the
+    // signal the QoS-aware policy migrates on.
+    ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        builder.service(services::ServiceKind::Memcached,
+                        n == 0 ? colo::Scenario::flashCrowd(
+                                     0.45, 0.97, 20 * kS, 3 * kS,
+                                     40 * kS, 10 * kS)
+                               : colo::Scenario::constant(0.45));
+        builder.service(services::ServiceKind::Nginx,
+                        colo::Scenario::constant(0.45));
+    }
+    return builder
+        .apps({"canneal", "bayesian", "snp", "kmeans", "raytrace",
+               "streamcluster"})
+        .runtime(runtime)
+        .placement(placement)
+        .epoch(5 * kS)
+        .maxDuration(120 * kS)
+        .seed(71)
+        .threads(threads)
+        .build();
+}
+
+TEST(ClusterValidationTest, RejectsZeroNodeCluster)
+{
+    ClusterConfigBuilder builder;
+    EXPECT_THROW(builder.apps({"canneal"}).build(), util::FatalError);
+}
+
+TEST(ClusterValidationTest, RejectsNodeWithoutServices)
+{
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(2)
+                     .apps({"canneal"})
+                     .build(),
+                 util::FatalError);
+}
+
+TEST(ClusterValidationTest, RejectsServiceBeforeNode)
+{
+    EXPECT_THROW(ClusterConfigBuilder().service(
+                     services::ServiceKind::Memcached,
+                     colo::Scenario::constant(0.5)),
+                 util::FatalError);
+}
+
+TEST(ClusterValidationTest, RejectsEpochShorterThanInterval)
+{
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(1)
+                     .serviceOnAll(services::ServiceKind::Memcached,
+                                   colo::Scenario::constant(0.5))
+                     .apps({"canneal"})
+                     .epoch(sim::kSecond / 2)
+                     .build(),
+                 util::FatalError);
+}
+
+TEST(ClusterValidationTest, RejectsDuplicateNodeNames)
+{
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .node("twin")
+                     .service(services::ServiceKind::Memcached,
+                              colo::Scenario::constant(0.5))
+                     .node("twin")
+                     .service(services::ServiceKind::Nginx,
+                              colo::Scenario::constant(0.5))
+                     .apps({"canneal"})
+                     .build(),
+                 util::FatalError);
+}
+
+TEST(ClusterValidationTest, RejectsUnknownAndDuplicateApps)
+{
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(1)
+                     .serviceOnAll(services::ServiceKind::Memcached,
+                                   colo::Scenario::constant(0.5))
+                     .app("no-such-app")
+                     .build(),
+                 util::FatalError);
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(1)
+                     .serviceOnAll(services::ServiceKind::Memcached,
+                                   colo::Scenario::constant(0.5))
+                     .app("canneal")
+                     .app("canneal")
+                     .build(),
+                 util::FatalError);
+}
+
+TEST(ClusterRegressionTest, SingleNodeClusterEqualsBareEngine)
+{
+    const ClusterConfig cfg =
+        ClusterConfigBuilder()
+            .node("solo")
+            .service(services::ServiceKind::Memcached,
+                     colo::Scenario::flashCrowd(0.60, 0.95, 30 * kS,
+                                                3 * kS, 20 * kS,
+                                                10 * kS))
+            .service(services::ServiceKind::Nginx,
+                     colo::Scenario::constant(0.65))
+            .apps({"canneal", "bayesian"})
+            .runtime(core::RuntimeKind::Pliant)
+            .epoch(5 * kS)
+            .maxDuration(120 * kS)
+            .seed(71)
+            .build();
+
+    Cluster cl(cfg);
+    // The equivalent bare run: same node config, same derived seed.
+    const colo::ColoConfig node_cfg = cl.nodeConfig(0);
+    EXPECT_EQ(node_cfg.seed, Cluster::nodeSeed(71, 0));
+
+    colo::Engine bare(node_cfg);
+    const colo::ColoResult direct = bare.run();
+
+    const ClusterResult r = cl.run();
+    ASSERT_EQ(r.nodes.size(), 1u);
+    EXPECT_TRUE(r.migrations.empty());
+    expectIdenticalColo(r.nodes[0].result, direct);
+}
+
+TEST(ClusterDeterminismTest, QosAwareSweepIdenticalAt1And6Threads)
+{
+    const auto one = Cluster(acceptanceConfig(
+                                 PlacementKind::QosAware,
+                                 core::RuntimeKind::Precise, 1))
+                         .run();
+    const auto many = Cluster(acceptanceConfig(
+                                  PlacementKind::QosAware,
+                                  core::RuntimeKind::Precise, 6))
+                          .run();
+    // The run must actually exercise the migration path for this to
+    // pin anything interesting.
+    EXPECT_FALSE(one.migrations.empty());
+    expectIdenticalCluster(one, many);
+}
+
+TEST(ClusterDeterminismTest, BatchSweepIdenticalAt1And6Threads)
+{
+    std::vector<ClusterConfig> configs;
+    for (auto placement : {PlacementKind::Static,
+                           PlacementKind::LeastLoaded,
+                           PlacementKind::QosAware})
+        configs.push_back(acceptanceConfig(
+            placement, core::RuntimeKind::Pliant, 1));
+
+    driver::SweepOptions serial;
+    serial.threads = 1;
+    driver::SweepOptions parallel;
+    parallel.threads = 6;
+
+    const auto one = runClusters(configs, serial);
+    const auto many = runClusters(configs, parallel);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        expectIdenticalCluster(one[i], many[i]);
+}
+
+TEST(ClusterPlacementTest, StaticAssignsRoundRobin)
+{
+    Cluster cl(acceptanceConfig(PlacementKind::Static,
+                                core::RuntimeKind::Pliant, 1));
+    const auto &assignment = cl.initialAssignment();
+    ASSERT_EQ(assignment.size(), 6u);
+    for (std::size_t a = 0; a < assignment.size(); ++a)
+        EXPECT_EQ(assignment[a], a % 3);
+}
+
+TEST(ClusterPlacementTest, LeastLoadedBalancesNominalWork)
+{
+    Cluster cl(acceptanceConfig(PlacementKind::LeastLoaded,
+                                core::RuntimeKind::Pliant, 1));
+    const auto &assignment = cl.initialAssignment();
+    // Every node gets at least one of the six apps, and the nominal
+    // work across nodes is closer than one max-size app.
+    std::vector<double> work(3, 0.0);
+    std::vector<int> count(3, 0);
+    const std::vector<std::string> apps = {"canneal", "bayesian",
+                                           "snp", "kmeans",
+                                           "raytrace",
+                                           "streamcluster"};
+    double heaviest = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const double w =
+            approx::findProfile(apps[a]).nominalExecSeconds;
+        work[assignment[a]] += w;
+        ++count[assignment[a]];
+        heaviest = std::max(heaviest, w);
+    }
+    for (int n = 0; n < 3; ++n)
+        EXPECT_GT(count[n], 0);
+    const auto [lo, hi] = std::minmax_element(work.begin(), work.end());
+    EXPECT_LE(*hi - *lo, heaviest + 1e-9);
+}
+
+TEST(ClusterMigrationTest, CrowdedNodeShedsAnAppAndAllAppsSurvive)
+{
+    const ClusterResult r =
+        Cluster(acceptanceConfig(PlacementKind::QosAware,
+                                 core::RuntimeKind::Precise, 1))
+            .run();
+
+    ASSERT_FALSE(r.migrations.empty());
+    // Migrations flee the crowded node while it is in violation.
+    EXPECT_EQ(r.migrations.front().from, 0u);
+    EXPECT_NE(r.migrations.front().to, 0u);
+    EXPECT_GE(r.migrations.front().t, 20 * kS);
+
+    // Every app appears on exactly one node's final report.
+    std::map<std::string, int> seen;
+    for (const auto &node : r.nodes)
+        for (const auto &app : node.result.apps)
+            ++seen[app.name];
+    EXPECT_EQ(seen.size(), 6u);
+    for (const auto &[name, times] : seen)
+        EXPECT_EQ(times, 1) << name;
+    EXPECT_EQ(r.appsTotal, 6);
+}
+
+TEST(ClusterMigrationTest, MigratedAppKeepsItsQualityAccounting)
+{
+    // Under the pliant runtime the same cluster also migrates or
+    // not deterministically; either way the rollups must count each
+    // app once and inaccuracy must stay within the catalog's bounds.
+    const ClusterResult r =
+        Cluster(acceptanceConfig(PlacementKind::QosAware,
+                                 core::RuntimeKind::Pliant, 2))
+            .run();
+    EXPECT_EQ(r.appsTotal, 6);
+    EXPECT_GE(r.meanInaccuracy, 0.0);
+    EXPECT_LE(r.meanInaccuracy, 1.0);
+    EXPECT_GE(r.meanRelativeExecTime, 0.0);
+}
+
+TEST(ClusterIdleNodeTest, AppLessNodesKeepServingAndReporting)
+{
+    // One app on three nodes: two nodes host no app, but their
+    // services keep running (and reporting QoS) for the whole
+    // cluster experiment.
+    const ClusterResult r =
+        Cluster(ClusterConfigBuilder()
+                    .nodes(3)
+                    .serviceOnAll(services::ServiceKind::Memcached,
+                                  colo::Scenario::constant(0.6))
+                    .apps({"bayesian"})
+                    .placement(PlacementKind::LeastLoaded)
+                    .maxDuration(60 * kS)
+                    .seed(5)
+                    .build())
+            .run();
+    ASSERT_EQ(r.nodes.size(), 3u);
+    EXPECT_EQ(r.appsTotal, 1);
+    int hosting = 0;
+    for (const auto &node : r.nodes) {
+        if (!node.result.apps.empty())
+            ++hosting;
+        // Every node — app-less ones included — simulated its
+        // service and produced interval reports.
+        EXPECT_FALSE(node.result.timeline.empty()) << node.name;
+        EXPECT_GT(node.result.services[0].meanIntervalP99Us, 0.0)
+            << node.name;
+    }
+    EXPECT_EQ(hosting, 1);
+}
+
+TEST(ClusterIdleNodeTest, AppLessNodeIsAValidMigrationTarget)
+{
+    // Two apps on three nodes: the third node starts empty. When the
+    // crowd hits node 0 it has the most headroom, so the QoS-aware
+    // policy migrates onto it.
+    ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        builder.service(services::ServiceKind::Memcached,
+                        n == 0 ? colo::Scenario::flashCrowd(
+                                     0.45, 0.97, 20 * kS, 3 * kS,
+                                     40 * kS, 10 * kS)
+                               : colo::Scenario::constant(0.45));
+    }
+    const ClusterResult r =
+        Cluster(builder.apps({"bayesian", "snp"})
+                    .runtime(core::RuntimeKind::Precise)
+                    .placement(PlacementKind::QosAware)
+                    .epoch(5 * kS)
+                    .maxDuration(120 * kS)
+                    .seed(71)
+                    .build())
+            .run();
+
+    ASSERT_FALSE(r.migrations.empty());
+    EXPECT_EQ(r.migrations.front().from, 0u);
+    // Every app still accounted for exactly once.
+    std::map<std::string, int> seen;
+    for (const auto &node : r.nodes)
+        for (const auto &app : node.result.apps)
+            ++seen[app.name];
+    EXPECT_EQ(seen.size(), 2u);
+    for (const auto &[name, times] : seen)
+        EXPECT_EQ(times, 1) << name;
+}
+
+TEST(ClusterValidationTest, RejectsNonPositiveTiming)
+{
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(1)
+                     .serviceOnAll(services::ServiceKind::Memcached,
+                                   colo::Scenario::constant(0.5))
+                     .apps({"canneal"})
+                     .maxDuration(0)
+                     .build(),
+                 util::FatalError);
+    EXPECT_THROW(ClusterConfigBuilder()
+                     .nodes(1)
+                     .serviceOnAll(services::ServiceKind::Memcached,
+                                   colo::Scenario::constant(0.5))
+                     .apps({"canneal"})
+                     .tick(0)
+                     .build(),
+                 util::FatalError);
+}
+
+TEST(ClusterMigrationTest, TimelineCsvAttributesSlotsThroughRoster)
+{
+    const ClusterResult r =
+        Cluster(acceptanceConfig(PlacementKind::QosAware,
+                                 core::RuntimeKind::Precise, 1))
+            .run();
+    ASSERT_FALSE(r.migrations.empty());
+    const auto &mig = r.migrations.front();
+    const colo::ColoResult &dst = r.nodes[mig.to].result;
+
+    // The destination's roster log records the arrival...
+    ASSERT_GE(dst.rosterChanges.size(), 2u);
+    const auto &arrival = dst.rosterChanges.back();
+    EXPECT_EQ(arrival.t, mig.t);
+    EXPECT_NE(std::find(arrival.apps.begin(), arrival.apps.end(),
+                        mig.app),
+              arrival.apps.end());
+
+    // ... and the CSV keys the migrant's column by name, with "-"
+    // before it arrived.
+    std::ostringstream os;
+    colo::writeTimelineCsv(os, dst);
+    std::istringstream is(os.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(is, header));
+    EXPECT_NE(header.find(mig.app + "_variant"), std::string::npos);
+    std::string first_row;
+    ASSERT_TRUE(std::getline(is, first_row));
+    EXPECT_NE(first_row.find("-"), std::string::npos);
+}
+
+TEST(ClusterSeedTest, NodeSeedsMatchTheSweepDerivation)
+{
+    EXPECT_EQ(Cluster::nodeSeed(71, 0), driver::taskSeed(71, 0));
+    EXPECT_EQ(Cluster::nodeSeed(71, 2), driver::taskSeed(71, 2));
+    EXPECT_NE(Cluster::nodeSeed(71, 0), Cluster::nodeSeed(71, 1));
+    EXPECT_NE(Cluster::nodeSeed(71, 1), Cluster::nodeSeed(72, 1));
+}
+
+} // namespace

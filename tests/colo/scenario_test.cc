@@ -8,8 +8,11 @@
 #include "colo/scenario.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include <gtest/gtest.h>
+
+#include "util/logging.hh"
 
 namespace {
 
@@ -96,6 +99,80 @@ TEST(ScenarioTest, NamesArePrintable)
     EXPECT_EQ(colo::scenarioName(ScenarioKind::FlashCrowd),
               "flash-crowd");
     EXPECT_EQ(colo::scenarioName(ScenarioKind::Step), "step");
+    EXPECT_EQ(colo::scenarioName(ScenarioKind::Trace), "trace");
+}
+
+TEST(ScenarioTraceTest, InterpolatesBetweenKnotsAndClampsOutside)
+{
+    const Scenario s = Scenario::trace({
+        {10 * kS, 0.40},
+        {20 * kS, 0.80},
+        {40 * kS, 0.60},
+    });
+    // Clamped to the first/last knot outside the trace.
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.40);
+    EXPECT_DOUBLE_EQ(s.loadAt(10 * kS), 0.40);
+    EXPECT_DOUBLE_EQ(s.loadAt(40 * kS), 0.60);
+    EXPECT_DOUBLE_EQ(s.loadAt(500 * kS), 0.60);
+    // Linear interpolation between knots.
+    EXPECT_NEAR(s.loadAt(15 * kS), 0.60, 1e-12);
+    EXPECT_NEAR(s.loadAt(30 * kS), 0.70, 1e-12);
+    // Exact at a middle knot.
+    EXPECT_DOUBLE_EQ(s.loadAt(20 * kS), 0.80);
+}
+
+TEST(ScenarioTraceTest, RejectsEmptyUnsortedAndNegative)
+{
+    EXPECT_THROW(Scenario::trace({}), util::FatalError);
+    EXPECT_THROW(Scenario::trace({{10 * kS, 0.5}, {10 * kS, 0.6}}),
+                 util::FatalError);
+    EXPECT_THROW(Scenario::trace({{20 * kS, 0.5}, {10 * kS, 0.6}}),
+                 util::FatalError);
+    EXPECT_THROW(Scenario::trace({{10 * kS, -0.1}}),
+                 util::FatalError);
+}
+
+TEST(ScenarioTraceTest, LoadsCsvWithHeaderAndComments)
+{
+    std::istringstream csv(
+        "t_s,load\n"
+        "# warmup plateau\n"
+        "0,0.5\n"
+        "30,0.5\n"
+        "45.5,0.95\n"
+        "\n"
+        "60,0.6\n");
+    const Scenario s = Scenario::traceFromCsv(csv);
+    EXPECT_EQ(s.kind, ScenarioKind::Trace);
+    ASSERT_EQ(s.points.size(), 4u);
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.5);
+    EXPECT_EQ(s.points[2].t, sim::fromSeconds(45.5));
+    EXPECT_DOUBLE_EQ(s.points[2].load, 0.95);
+    EXPECT_DOUBLE_EQ(s.loadAt(120 * kS), 0.6);
+}
+
+TEST(ScenarioTraceTest, RejectsMalformedCsv)
+{
+    std::istringstream no_points("t_s,load\n# nothing\n");
+    EXPECT_THROW(Scenario::traceFromCsv(no_points), util::FatalError);
+
+    std::istringstream bad_row("0,0.5\nnot,numeric\n");
+    EXPECT_THROW(Scenario::traceFromCsv(bad_row), util::FatalError);
+
+    std::istringstream missing_field("0,0.5\n30\n");
+    EXPECT_THROW(Scenario::traceFromCsv(missing_field),
+                 util::FatalError);
+
+    // Trailing garbage is malformed, not silently truncated.
+    std::istringstream units_suffix("0,0.5\n30sec,0.6\n");
+    EXPECT_THROW(Scenario::traceFromCsv(units_suffix),
+                 util::FatalError);
+    std::istringstream extra_column("0,0.5\n30,0.6;0.9\n");
+    EXPECT_THROW(Scenario::traceFromCsv(extra_column),
+                 util::FatalError);
+
+    EXPECT_THROW(Scenario::traceFromCsvFile("/nonexistent/trace.csv"),
+                 util::FatalError);
 }
 
 } // namespace
