@@ -9,6 +9,7 @@
  *              [--scenario constant|diurnal|flash|step|trace:<file>]
  *              [--apps canneal,bayesian,...]
  *              [--runtime precise|pliant|learned]
+ *              [--learned-scalar]
  *              [--load 0.78] [--interval-s 1.0] [--seed 1]
  *              [--cache-partitioning] [--csv timeline|summary]
  *              [--nodes N] [--placement static|least-loaded|qos-aware]
@@ -19,6 +20,9 @@
  * service); --scenario applies the named deterministic load pattern
  * (default parameters, around --load) to every tenant;
  * `trace:<file>` replays a piecewise-linear (t_seconds,load) CSV.
+ * --learned-scalar drops the learned runtime back to the collapsed
+ * worst-ratio model (the ablation baseline for the vector-conditioned
+ * per-service model that is the default).
  * --nodes N > 1 runs a cluster: every node hosts the service list,
  * and --placement decides where the apps land (and, for qos-aware,
  * whether they migrate at --epoch-s boundaries).
@@ -50,6 +54,7 @@ usage(const char *argv0)
            " [--services a,b,...]"
            " [--scenario constant|diurnal|flash|step|trace:<file>]"
            " [--apps a,b,...] [--runtime precise|pliant|learned]"
+           " [--learned-scalar]"
            " [--load F] [--interval-s S] [--seed N]"
            " [--cache-partitioning] [--csv timeline|summary]"
            " [--nodes N] [--placement static|least-loaded|qos-aware]"
@@ -157,6 +162,8 @@ main(int argc, char **argv)
                 cfg.runtime = core::RuntimeKind::Learned;
             else
                 usage(argv[0]);
+        } else if (arg == "--learned-scalar") {
+            cfg.learnedVector = false;
         } else if (arg == "--load") {
             cfg.loadFraction = std::stod(next());
         } else if (arg == "--interval-s") {
@@ -224,6 +231,7 @@ main(int argc, char **argv)
             const cluster::ClusterConfig ccfg =
                 builder.apps(cfg.apps)
                     .runtime(cfg.runtime)
+                    .learnedVector(cfg.learnedVector)
                     .decisionInterval(cfg.decisionInterval)
                     .cachePartitioning(cfg.enableCachePartitioning)
                     .placement(placement)

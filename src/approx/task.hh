@@ -20,6 +20,26 @@ namespace pliant {
 namespace approx {
 
 /**
+ * One controller model slot carried inside a migration checkpoint:
+ * a per-variant estimate vector learned by the runtime while the
+ * task ran, keyed so the destination node's controller can decide
+ * which slots transfer (an empty key is the aggregate/worst-case
+ * slot; otherwise the key is a service instance name). The approx
+ * layer treats the contents as opaque — only the learned runtime
+ * reads or writes them.
+ */
+struct ModelSlot
+{
+    std::string key;
+
+    /** Per-variant learned estimate (EWMA of normalized ratios). */
+    std::vector<double> ratio;
+
+    /** Per-variant observation counts (0 = unexplored). */
+    std::vector<int> samples;
+};
+
+/**
  * Serialized execution state of an ApproxTask, sufficient to resume
  * the application on another simulated node (the cluster layer's
  * migration path). The state is a pure value: restoring it into a
@@ -44,6 +64,15 @@ struct TaskState
 
     bool usedAggressiveVariant = false;
     double elisionNoiseDraw = 0.0;
+
+    /**
+     * Learned controller state that travels with the task: the
+     * engine's detach path asks the runtime to fill this
+     * (core::Runtime::exportModel) and the attach path hands it back
+     * (onTaskAdded), so a migrated app does not restart with a cold
+     * model. Empty under runtimes without per-task models.
+     */
+    std::vector<ModelSlot> runtimeModel;
 };
 
 /**

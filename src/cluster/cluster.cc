@@ -54,6 +54,11 @@ validateClusterConfig(const ClusterConfig &cfg)
         util::fatal("decision interval must be positive");
     if (cfg.tick <= 0)
         util::fatal("simulation tick must be positive");
+    if (cfg.decisionInterval < cfg.tick)
+        util::fatal("decision interval (",
+                    sim::toSeconds(cfg.decisionInterval),
+                    " s) must be at least one simulation tick (",
+                    sim::toSeconds(cfg.tick), " s)");
     if (cfg.maxDuration <= 0)
         util::fatal("max duration must be positive");
     if (cfg.epoch <= 0)
@@ -102,6 +107,7 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         nc.spec = cfg.nodes[i].spec;
         nc.runtime = cfg.runtime;
         nc.arbiter = cfg.arbiter;
+        nc.learnedVector = cfg.learnedVector;
         nc.decisionInterval = cfg.decisionInterval;
         nc.slackThreshold = cfg.slackThreshold;
         nc.tick = cfg.tick;
@@ -135,6 +141,10 @@ Cluster::gatherStatuses() const
         st.done = engines[i]->appsFinished();
         st.services = engines[i]->lastReports();
         st.worstRatio = core::worstRatio(st.services);
+        st.relief = engines[i]->reliefPredictions();
+        for (const auto &relief : st.relief)
+            st.reliefRatio =
+                std::max(st.reliefRatio, relief.predictedRatio);
         st.apps.reserve(engines[i]->appCount());
         for (std::size_t a = 0; a < engines[i]->appCount(); ++a) {
             AppStatus app;
@@ -432,6 +442,13 @@ ClusterConfigBuilder &
 ClusterConfigBuilder::arbiter(core::ArbiterKind kind)
 {
     cfg.arbiter = kind;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::learnedVector(bool enable)
+{
+    cfg.learnedVector = enable;
     return *this;
 }
 

@@ -62,6 +62,14 @@ struct ClusterConfig
 
     core::RuntimeKind runtime = core::RuntimeKind::Pliant;
     core::ArbiterKind arbiter = core::ArbiterKind::RoundRobin;
+
+    /**
+     * Learned runtime: vector-conditioned per-service models
+     * (default) vs the collapsed worst-ratio baseline; see
+     * colo::ColoConfig::learnedVector.
+     */
+    bool learnedVector = true;
+
     sim::Time decisionInterval = sim::kSecond;
     double slackThreshold = 0.10;
     sim::Time tick = 10 * sim::kMillisecond;
@@ -185,6 +193,9 @@ class ClusterConfigBuilder
 
     ClusterConfigBuilder &runtime(core::RuntimeKind kind);
     ClusterConfigBuilder &arbiter(core::ArbiterKind kind);
+
+    /** Learned runtime: vector-conditioned (default) vs worst-ratio. */
+    ClusterConfigBuilder &learnedVector(bool enable = true);
     ClusterConfigBuilder &placement(PlacementKind kind);
     ClusterConfigBuilder &epoch(sim::Time epoch);
     ClusterConfigBuilder &decisionInterval(sim::Time interval);

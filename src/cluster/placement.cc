@@ -80,6 +80,27 @@ QosAwarePlacement::initialPlacement(
     return lptPlacement(nodeCount, apps);
 }
 
+namespace {
+
+/**
+ * Effective migration pressure of a node: its live worst ratio,
+ * floored by the runtime's predicted post-approximation ratio when
+ * one is published. A node whose learned model says even full
+ * approximation leaves a tenant at 1.3x QoS is a migration source at
+ * pressure 1.3 regardless of how much quality its control loop is
+ * currently burning to mask the violation — migrate before
+ * approximating further.
+ */
+double
+sourcePressure(const NodeStatus &node)
+{
+    return node.reliefRatio >= 0.0
+        ? std::max(node.worstRatio, node.reliefRatio)
+        : node.worstRatio;
+}
+
+} // namespace
+
 std::vector<MigrationDecision>
 QosAwarePlacement::rebalance(const std::vector<NodeStatus> &nodes,
                              sim::Time)
@@ -95,9 +116,10 @@ QosAwarePlacement::rebalance(const std::vector<NodeStatus> &nodes,
                     cooldowns.end());
 
     // Source: the node with unfinished apps whose services are most
-    // over QoS. Destination: any node with the most headroom —
-    // including nodes whose own apps already finished, which are the
-    // cheapest hosts of all.
+    // over QoS — by effective pressure, so relief predictions count.
+    // Destination: any node with the most headroom — including nodes
+    // whose own apps already finished, which are the cheapest hosts
+    // of all.
     const NodeStatus *src = nullptr;
     const NodeStatus *dst = nullptr;
     for (const auto &node : nodes) {
@@ -105,14 +127,14 @@ QosAwarePlacement::rebalance(const std::vector<NodeStatus> &nodes,
             node.apps.begin(), node.apps.end(),
             [](const AppStatus &app) { return !app.finished; });
         if (has_movable_app &&
-            (!src || node.worstRatio > src->worstRatio))
+            (!src || sourcePressure(node) > sourcePressure(*src)))
             src = &node;
         if (!dst || node.worstRatio < dst->worstRatio)
             dst = &node;
     }
     if (!src || !dst || src->node == dst->node)
         return {};
-    if (src->worstRatio <= prm.pressureThreshold ||
+    if (sourcePressure(*src) <= prm.pressureThreshold ||
         dst->worstRatio >= prm.headroomThreshold)
         return {};
 

@@ -21,6 +21,15 @@
  *                move one unfinished app from the most QoS-pressured
  *                node to the least pressured one, with hysteresis
  *                and a per-app cooldown so placement doesn't thrash.
+ *                When a node's runtime publishes relief predictions
+ *                (the learned runtime's per-service model floors),
+ *                the policy treats a node that cannot save itself by
+ *                approximating — predicted floor still above the
+ *                pressure threshold — as pressured even while
+ *                actuation momentarily masks the violation, i.e. it
+ *                migrates before the node burns more output quality
+ *                on approximation that the model says won't clear
+ *                QoS.
  */
 
 #ifndef PLIANT_CLUSTER_PLACEMENT_HH
@@ -73,6 +82,20 @@ struct NodeStatus
     /** Per-service reports from the node's last interval. */
     std::vector<core::ServiceReport> services;
     std::vector<AppStatus> apps;
+
+    /**
+     * Per-service relief predictions from the node's runtime (empty
+     * for runtimes without a learned model, e.g. Precise/Pliant).
+     */
+    std::vector<core::ServiceRelief> relief;
+
+    /**
+     * Predicted floor of the node's worst ratio under full local
+     * approximation: the max over `relief` entries, i.e. the best
+     * the node's own control loop believes it can do. Negative when
+     * the runtime offers no prediction.
+     */
+    double reliefRatio = -1.0;
 };
 
 /** A migration the policy requests at an epoch boundary. */

@@ -63,6 +63,13 @@ ConfigBuilder::arbiter(core::ArbiterKind kind)
 }
 
 ConfigBuilder &
+ConfigBuilder::learnedVector(bool enable)
+{
+    cfg.learnedVector = enable;
+    return *this;
+}
+
+ConfigBuilder &
 ConfigBuilder::decisionInterval(sim::Time interval)
 {
     cfg.decisionInterval = interval;
@@ -120,12 +127,9 @@ ConfigBuilder::build() const
     // configs stay byte-identical to hand-written ones.
     if (!anyVariantPinned)
         built.initialVariants.clear();
-    if (built.decisionInterval <= 0)
-        util::fatal("decision interval must be positive");
-    if (built.tick <= 0)
-        util::fatal("simulation tick must be positive");
-    if (built.maxDuration <= 0)
-        util::fatal("max duration must be positive");
+    // validateConfig covers timing (positivity, interval >= tick) as
+    // of the tick-loop-safety pass, so raw structs and built configs
+    // fail with the same messages.
     validateConfig(built);
     return built;
 }

@@ -64,6 +64,9 @@ class ConfigBuilder
 
     ConfigBuilder &runtime(core::RuntimeKind kind);
     ConfigBuilder &arbiter(core::ArbiterKind kind);
+
+    /** Learned runtime: vector-conditioned (default) vs worst-ratio. */
+    ConfigBuilder &learnedVector(bool enable = true);
     ConfigBuilder &decisionInterval(sim::Time interval);
     ConfigBuilder &slackThreshold(double threshold);
     ConfigBuilder &tick(sim::Time tick);

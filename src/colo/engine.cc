@@ -221,6 +221,22 @@ validateConfig(const ColoConfig &cfg)
                             "' in colocation config: give same-kind "
                             "tenants distinct instance names");
 
+    // Timing must be validated here too: a zero tick would spin the
+    // loop forever and a non-positive interval would never close a
+    // monitoring window — both are build-time errors, not tick-loop
+    // surprises.
+    if (cfg.tick <= 0)
+        util::fatal("simulation tick must be positive");
+    if (cfg.decisionInterval <= 0)
+        util::fatal("decision interval must be positive");
+    if (cfg.decisionInterval < cfg.tick)
+        util::fatal("decision interval (",
+                    sim::toSeconds(cfg.decisionInterval),
+                    " s) must be at least one simulation tick (",
+                    sim::toSeconds(cfg.tick), " s)");
+    if (cfg.maxDuration <= 0)
+        util::fatal("max duration must be positive");
+
     const int n_apps = static_cast<int>(cfg.apps.size());
     const int n_services = static_cast<int>(specs.size());
     const int fair = Engine::fairShare(cfg.spec, n_apps, n_services);
@@ -303,8 +319,11 @@ Engine::Engine(ColoConfig config)
         runtime = std::make_unique<core::PliantRuntime>(
             *actuator, rp, cfg.seed ^ 0x91);
     } else if (cfg.runtime == core::RuntimeKind::Learned) {
+        core::LearnedParams lp;
+        lp.slackThreshold = cfg.slackThreshold;
+        lp.vectorConditioned = cfg.learnedVector;
         runtime = std::make_unique<core::LearnedRuntime>(
-            *actuator, core::LearnedParams{}, cfg.seed ^ 0x91);
+            *actuator, lp, cfg.seed ^ 0x91);
     } else {
         runtime = std::make_unique<core::PreciseRuntime>();
     }
@@ -321,6 +340,10 @@ Engine::Engine(ColoConfig config)
     peerPressure.reserve(tenants.size());
     inflationBuf.assign(tenants.size(), 1.0);
     reports.resize(tenants.size());
+    // Tenant names are fixed for the run; the per-interval fields of
+    // each report are overwritten at every interval close.
+    for (std::size_t s = 0; s < tenants.size(); ++s)
+        reports[s].name = tenants[s].service->name();
 
     partial.service = tenants[0].service->name();
     partial.runtime = runtime->name();
@@ -509,6 +532,9 @@ Engine::detachApp(std::size_t i)
             util::panic("core conservation violated while detaching '",
                         profiles[i]->name, "'");
     approx::TaskState state = tasks[i].checkpoint();
+    // Serialize the runtime's per-task model into the checkpoint
+    // before the task (and its model) disappear from this node.
+    runtime->exportModel(static_cast<int>(i), state);
     tasks.erase(tasks.begin() + static_cast<std::ptrdiff_t>(i));
     profiles.erase(profiles.begin() + static_cast<std::ptrdiff_t>(i));
     maxReclaimed.erase(maxReclaimed.begin() +
@@ -534,8 +560,14 @@ Engine::attachApp(const approx::TaskState &state)
     tasks.emplace_back(*profiles.back(), appFairCores, state);
     maxReclaimed.push_back(0);
     taskPressure.resize(tasks.size());
-    runtime->onTaskAdded();
+    runtime->onTaskAdded(state);
     recordRoster();
+}
+
+std::vector<core::ServiceRelief>
+Engine::reliefPredictions() const
+{
+    return runtime->reliefPredictions();
 }
 
 ColoResult

@@ -98,6 +98,14 @@ struct ColoConfig
     core::RuntimeKind runtime = core::RuntimeKind::Pliant;
     core::ArbiterKind arbiter = core::ArbiterKind::RoundRobin;
 
+    /**
+     * Learned runtime only: condition the model on the full
+     * per-service ratio vector (one slot per tenant) instead of the
+     * collapsed worst ratio. Single-service runs are unaffected
+     * either way; false is the ablation baseline.
+     */
+    bool learnedVector = true;
+
     /** Pliant decision interval (paper default: 1 s). */
     sim::Time decisionInterval = sim::kSecond;
 
@@ -325,6 +333,14 @@ class Engine
     {
         return reports;
     }
+
+    /**
+     * The runtime's per-service relief predictions (empty for
+     * runtimes without a learned model). The cluster's QoS-aware
+     * placement compares these against live pressure to migrate
+     * before approximating further.
+     */
+    std::vector<core::ServiceRelief> reliefPredictions() const;
 
     /** Live app introspection (indices into the current task list). */
     std::size_t appCount() const { return tasks.size(); }

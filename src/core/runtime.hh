@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "approx/task.hh"
 #include "core/actuator.hh"
 #include "core/monitor.hh"
 #include "util/rng.hh"
@@ -102,6 +103,14 @@ struct ServiceReport
     IntervalReport interval;
     double qosUs = 0.0;
 
+    /**
+     * Service instance name. Runtimes that condition per-service
+     * model state on the tenant vector key their slots on it; the
+     * scalar control paths ignore it (and the single-service
+     * shorthand leaves it empty).
+     */
+    std::string name;
+
     /** Tail pressure normalized by the QoS target (1.0 = at QoS). */
     double
     ratio() const
@@ -116,6 +125,23 @@ struct ServiceReport
  * service is in violation. Returns 0 for an empty vector.
  */
 double worstRatio(const std::vector<ServiceReport> &services);
+
+/**
+ * A runtime's prediction of how far local actuation can still push
+ * one service's tail pressure down: the lowest p99/QoS ratio the
+ * runtime has learned it can reach for `service` by deepening the
+ * approximation of any one of its current tasks. The cluster's
+ * QoS-aware placement compares these against live pressure to decide
+ * migrate-before-approximate (a node whose predicted floor is still
+ * in violation cannot save itself locally).
+ */
+struct ServiceRelief
+{
+    std::string service;
+
+    /** Predicted achievable p99/QoS ratio (1.0 = exactly at QoS). */
+    double predictedRatio = 0.0;
+};
 
 /**
  * Remap a round-robin cursor after the task at `removed_idx` left a
@@ -155,10 +181,34 @@ class Runtime
      * these after removing the task at `idx` from, or appending a new
      * task to, the actuator's task list (so taskCount() already
      * reflects the change). Controllers with per-task state must
-     * remap it; the defaults are no-ops.
+     * remap it; the defaults are no-ops. onTaskAdded receives the
+     * migrant's checkpoint so a controller can rehydrate any model
+     * state exportModel() serialized on the source node.
      */
     virtual void onTaskRemoved(int idx) { (void)idx; }
-    virtual void onTaskAdded() {}
+    virtual void onTaskAdded(const approx::TaskState &state) { (void)state; }
+
+    /**
+     * Serialize the per-task model state of the task at `idx` into a
+     * migration checkpoint. Called by the engine's detach path
+     * *before* onTaskRemoved(idx). Controllers without per-task
+     * models leave the checkpoint untouched.
+     */
+    virtual void exportModel(int idx, approx::TaskState &state) const
+    {
+        (void)idx;
+        (void)state;
+    }
+
+    /**
+     * Per-service relief predictions (see ServiceRelief). Empty when
+     * the runtime has no learned model — the placement layer then
+     * falls back to live pressure alone.
+     */
+    virtual std::vector<ServiceRelief> reliefPredictions() const
+    {
+        return {};
+    }
 
     virtual std::string name() const = 0;
 };

@@ -265,6 +265,48 @@ TEST(ClusterDeterminismTest, QosAwareSweepIdenticalAt1And6Threads)
     expectIdenticalCluster(one, many);
 }
 
+TEST(ClusterDeterminismTest, LearnedRunWithMigrationIdenticalAt1And6Threads)
+{
+    // The vector-conditioned learned arbiter carries per-task model
+    // state across the migration this cluster performs; both the
+    // model transfer and the relief predictions feeding the QoS-aware
+    // policy must stay byte-identical at any worker thread count.
+    const auto one = Cluster(acceptanceConfig(
+                                 PlacementKind::QosAware,
+                                 core::RuntimeKind::Learned, 1))
+                         .run();
+    const auto many = Cluster(acceptanceConfig(
+                                  PlacementKind::QosAware,
+                                  core::RuntimeKind::Learned, 6))
+                          .run();
+    // The run must exercise the migration (and thus the learned
+    // model checkpoint/restore path) for this to pin anything.
+    EXPECT_FALSE(one.migrations.empty());
+    expectIdenticalCluster(one, many);
+}
+
+TEST(ClusterDeterminismTest, LearnedSweepBatchIdenticalAt1And6Threads)
+{
+    // The same learned cluster, batched through driver::Sweep at two
+    // thread counts, next to its scalar-conditioned ablation twin.
+    ClusterConfig vec = acceptanceConfig(PlacementKind::QosAware,
+                                         core::RuntimeKind::Learned, 1);
+    ClusterConfig scalar = vec;
+    scalar.learnedVector = false;
+    const std::vector<ClusterConfig> configs = {vec, scalar};
+
+    driver::SweepOptions serial;
+    serial.threads = 1;
+    driver::SweepOptions parallel;
+    parallel.threads = 6;
+
+    const auto one = runClusters(configs, serial);
+    const auto many = runClusters(configs, parallel);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        expectIdenticalCluster(one[i], many[i]);
+}
+
 TEST(ClusterDeterminismTest, BatchSweepIdenticalAt1And6Threads)
 {
     std::vector<ClusterConfig> configs;

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Property-style sweep over the validated config builders: a seeded
+ * SplitMix64 stream drives randomized *invalid* configurations
+ * through colo::ConfigBuilder and cluster::ClusterConfigBuilder, and
+ * every one of them must throw util::FatalError at build() time —
+ * never later, inside the tick loop (where a zero tick would hang
+ * and a bad variant index would fault). Randomized *valid*
+ * configurations must build and construct their Engine/Cluster
+ * without throwing.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "approx/profile.hh"
+#include "cluster/cluster.hh"
+#include "colo/builder.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace pliant;
+
+constexpr sim::Time kS = sim::kSecond;
+
+/** Deterministic pick of n distinct catalog names. */
+std::vector<std::string>
+pickApps(util::SplitMix64 &sm, std::size_t n)
+{
+    const auto names = approx::catalogNames();
+    EXPECT_GE(names.size(), n);
+    // Fisher-Yates over a copy, driven by the SplitMix64 stream.
+    std::vector<std::string> pool = names;
+    for (std::size_t i = pool.size() - 1; i > 0; --i)
+        std::swap(pool[i], pool[sm.next() % (i + 1)]);
+    pool.resize(n);
+    return pool;
+}
+
+double
+loadDraw(util::SplitMix64 &sm)
+{
+    return 0.3 + 0.6 * static_cast<double>(sm.next() % 1000) / 1000.0;
+}
+
+TEST(BuilderPropertyTest, RandomInvalidColoConfigsThrowAtBuildTime)
+{
+    util::SplitMix64 sm(0xC010BADu);
+    for (int iter = 0; iter < 120; ++iter) {
+        colo::ConfigBuilder builder;
+        builder.service(services::ServiceKind::Memcached,
+                        colo::Scenario::constant(loadDraw(sm)));
+        const auto kind = sm.next() % 7;
+        switch (kind) {
+          case 0: { // duplicate app
+            const auto apps = pickApps(sm, 1);
+            builder.app(apps[0]).app(apps[0]);
+            break;
+          }
+          case 1: { // unknown catalog name
+            builder.app("no-such-app-" +
+                        std::to_string(sm.next() % 1000));
+            break;
+          }
+          case 2: { // out-of-range initial variant
+            const auto apps = pickApps(sm, 1);
+            const auto &prof = approx::findProfile(apps[0]);
+            const int bad = sm.next() % 2 == 0
+                ? static_cast<int>(prof.variants.size()) +
+                    static_cast<int>(sm.next() % 5)
+                : -1 - static_cast<int>(sm.next() % 3);
+            builder.app(apps[0], bad);
+            break;
+          }
+          case 3: { // duplicate resolved service name
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::constant(loadDraw(sm)));
+            builder.apps(pickApps(sm, 1));
+            break;
+          }
+          case 4: { // fair-core starvation: too many tenants
+            builder.service(services::ServiceKind::Nginx,
+                            colo::Scenario::constant(loadDraw(sm)));
+            builder.apps(
+                pickApps(sm, 15 + sm.next() % 8)); // >= 15 starves
+            break;
+          }
+          case 5: { // non-positive timing
+            builder.apps(pickApps(sm, 1));
+            switch (sm.next() % 3) {
+              case 0:
+                builder.tick(-static_cast<sim::Time>(sm.next() % 5));
+                break;
+              case 1:
+                builder.decisionInterval(0);
+                break;
+              default:
+                builder.maxDuration(
+                    -static_cast<sim::Time>(sm.next() % 100));
+                break;
+            }
+            break;
+          }
+          default: { // decision interval shorter than the tick
+            builder.apps(pickApps(sm, 1));
+            builder.tick(10 * sim::kMillisecond);
+            builder.decisionInterval(sim::kMillisecond);
+            break;
+          }
+        }
+        EXPECT_THROW(builder.build(), util::FatalError)
+            << "invalid colo config class " << kind << " (iteration "
+            << iter << ") must fail at build time";
+    }
+}
+
+TEST(BuilderPropertyTest, RandomValidColoConfigsBuildAndConstruct)
+{
+    util::SplitMix64 sm(0xC010600Du);
+    for (int iter = 0; iter < 24; ++iter) {
+        colo::ConfigBuilder builder;
+        builder.service(services::ServiceKind::Memcached,
+                        colo::Scenario::constant(loadDraw(sm)));
+        if (sm.next() % 2 == 0)
+            builder.service("ng-shard",
+                            services::ServiceKind::Nginx,
+                            colo::Scenario::constant(loadDraw(sm)));
+        builder.apps(pickApps(sm, 1 + sm.next() % 3))
+            .runtime(sm.next() % 2 == 0 ? core::RuntimeKind::Pliant
+                                        : core::RuntimeKind::Learned)
+            .seed(sm.next());
+        colo::ColoConfig cfg;
+        ASSERT_NO_THROW(cfg = builder.build()) << "iteration " << iter;
+        // Construction binds tenants/tasks but does not tick; a valid
+        // built config must never throw here either.
+        ASSERT_NO_THROW(colo::Engine engine(cfg))
+            << "iteration " << iter;
+    }
+}
+
+TEST(BuilderPropertyTest, RandomInvalidClusterConfigsThrowAtBuildTime)
+{
+    util::SplitMix64 sm(0xC1BADu);
+    for (int iter = 0; iter < 120; ++iter) {
+        cluster::ClusterConfigBuilder builder;
+        const auto kind = sm.next() % 7;
+        // Most classes need a well-formed base cluster first.
+        if (kind != 0 && kind != 1) {
+            builder.nodes(1 + sm.next() % 3);
+            builder.serviceOnAll(services::ServiceKind::Memcached,
+                                 colo::Scenario::constant(
+                                     loadDraw(sm)));
+        }
+        switch (kind) {
+          case 0: // no nodes at all
+            builder.apps(pickApps(sm, 1));
+            break;
+          case 1: // a node without any service
+            builder.nodes(1 + sm.next() % 3);
+            builder.apps(pickApps(sm, 1));
+            break;
+          case 2: { // duplicate node names
+            builder.node("twin").service(
+                services::ServiceKind::Nginx,
+                colo::Scenario::constant(loadDraw(sm)));
+            builder.node("twin").service(
+                services::ServiceKind::Nginx,
+                colo::Scenario::constant(loadDraw(sm)));
+            builder.apps(pickApps(sm, 1));
+            break;
+          }
+          case 3: // epoch shorter than the decision interval
+            builder.apps(pickApps(sm, 1));
+            builder.decisionInterval(kS).epoch(
+                kS / (2 + sm.next() % 8));
+            break;
+          case 4: // bad timing
+            builder.apps(pickApps(sm, 1));
+            switch (sm.next() % 4) {
+              case 0:
+                builder.tick(0);
+                break;
+              case 1:
+                builder.epoch(
+                    -static_cast<sim::Time>(sm.next() % 50));
+                break;
+              case 2:
+                // Interval shorter than one simulation tick.
+                builder.tick(10 * sim::kMillisecond)
+                    .decisionInterval(sim::kMillisecond)
+                    .epoch(sim::kMillisecond);
+                break;
+              default:
+                builder.maxDuration(0);
+                break;
+            }
+            break;
+          case 5: // unknown or duplicate app
+            if (sm.next() % 2 == 0) {
+                builder.app("bogus-" +
+                            std::to_string(sm.next() % 1000));
+            } else {
+                const auto apps = pickApps(sm, 1);
+                builder.app(apps[0]).app(apps[0]);
+            }
+            break;
+          default: { // out-of-range initial variant
+            const auto apps = pickApps(sm, 1);
+            const auto &prof = approx::findProfile(apps[0]);
+            builder.app(apps[0],
+                        static_cast<int>(prof.variants.size()) +
+                            static_cast<int>(sm.next() % 4));
+            break;
+          }
+        }
+        EXPECT_THROW(builder.build(), util::FatalError)
+            << "invalid cluster config class " << kind
+            << " (iteration " << iter
+            << ") must fail at build time";
+    }
+}
+
+TEST(BuilderPropertyTest, RandomValidClusterConfigsBuildAndConstruct)
+{
+    util::SplitMix64 sm(0xC1600Du);
+    for (int iter = 0; iter < 12; ++iter) {
+        cluster::ClusterConfigBuilder builder;
+        builder.nodes(1 + sm.next() % 3);
+        builder.serviceOnAll(services::ServiceKind::Memcached,
+                             colo::Scenario::constant(loadDraw(sm)));
+        cluster::ClusterConfig cfg;
+        ASSERT_NO_THROW(
+            cfg = builder.apps(pickApps(sm, 1 + sm.next() % 4))
+                      .placement(sm.next() % 2 == 0
+                                     ? cluster::PlacementKind::Static
+                                     : cluster::PlacementKind::QosAware)
+                      .seed(sm.next())
+                      .build())
+            << "iteration " << iter;
+        ASSERT_NO_THROW(cluster::Cluster cl(cfg))
+            << "iteration " << iter;
+    }
+}
+
+} // namespace

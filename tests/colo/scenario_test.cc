@@ -175,4 +175,51 @@ TEST(ScenarioTraceTest, RejectsMalformedCsv)
                  util::FatalError);
 }
 
+TEST(ScenarioTraceTest, RejectsEmptyCsv)
+{
+    // A truly empty file (not even a header) is a clear error, not a
+    // silent constant-load scenario.
+    std::istringstream empty("");
+    EXPECT_THROW(Scenario::traceFromCsv(empty), util::FatalError);
+
+    std::istringstream whitespace_only("   \n\t\n  \r\n");
+    EXPECT_THROW(Scenario::traceFromCsv(whitespace_only),
+                 util::FatalError);
+}
+
+TEST(ScenarioTraceTest, SinglePointTraceHoldsItsLoad)
+{
+    std::istringstream csv("12,0.7\n");
+    const Scenario s = Scenario::traceFromCsv(csv);
+    ASSERT_EQ(s.points.size(), 1u);
+    // One knot means one constant level, before and after it.
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.7);
+    EXPECT_DOUBLE_EQ(s.loadAt(12 * kS), 0.7);
+    EXPECT_DOUBLE_EQ(s.loadAt(600 * kS), 0.7);
+}
+
+TEST(ScenarioTraceTest, RejectsNonMonotonicCsvTimestamps)
+{
+    // Out-of-order rows fail loudly (via Scenario::trace), naming the
+    // offending point, rather than interpolating garbage.
+    std::istringstream decreasing("0,0.5\n30,0.6\n20,0.7\n");
+    EXPECT_THROW(Scenario::traceFromCsv(decreasing), util::FatalError);
+
+    std::istringstream duplicate_ts("0,0.5\n30,0.6\n30,0.7\n");
+    EXPECT_THROW(Scenario::traceFromCsv(duplicate_ts),
+                 util::FatalError);
+}
+
+TEST(ScenarioTraceTest, LoadsCrlfLineEndings)
+{
+    // Windows-exported traces carry \r\n; the loader must strip the
+    // \r instead of treating it as trailing garbage.
+    std::istringstream csv("t_s,load\r\n0,0.4\r\n30,0.8\r\n60,0.5\r\n");
+    const Scenario s = Scenario::traceFromCsv(csv);
+    ASSERT_EQ(s.points.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.loadAt(0), 0.4);
+    EXPECT_NEAR(s.loadAt(15 * kS), 0.6, 1e-12);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS), 0.5);
+}
+
 } // namespace

@@ -215,6 +215,167 @@ TEST(LearnedRuntimeTest, ViolationOnSecondaryServiceEscalates)
     EXPECT_GT(env.variant, 0);
 }
 
+/** Two named tenants with independently scripted ratios. */
+std::vector<ServiceReport>
+twoTenants(double ratio_a, double ratio_b)
+{
+    std::vector<ServiceReport> v(2);
+    v[0].name = "svc-a";
+    v[0].qosUs = 100.0;
+    v[0].interval.p99Us = ratio_a * 100.0;
+    v[1].name = "svc-b";
+    v[1].qosUs = 100.0;
+    v[1].interval.p99Us = ratio_b * 100.0;
+    return v;
+}
+
+TEST(LearnedVectorTest, PerServiceSlotsTrackEachTenant)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    for (int i = 0; i < 8; ++i)
+        rt.onInterval(twoTenants(0.8, 0.4));
+    EXPECT_TRUE(rt.explored(0, 0, "svc-a"));
+    EXPECT_TRUE(rt.explored(0, 0, "svc-b"));
+    EXPECT_FALSE(rt.explored(0, 0, "svc-c"));
+    EXPECT_NEAR(rt.estimate(0, 0, "svc-a"), 0.8, 1e-9);
+    EXPECT_NEAR(rt.estimate(0, 0, "svc-b"), 0.4, 1e-9);
+    // The aggregate slot still records the worst-service mixture.
+    EXPECT_NEAR(rt.estimate(0, 0), 0.8, 1e-9);
+}
+
+TEST(LearnedVectorTest, DistinguishesAlternationFromSustainedPressure)
+{
+    // Two tenants alternate as the worst (0.95/0.55): the worst-ratio
+    // mixture learns ~0.95 for the precise variant while each
+    // tenant's own estimate sits near ~0.75. After a mild violation
+    // escalates one step and slack returns, only the
+    // vector-conditioned model recognizes that EVERY tenant clears
+    // the target at precise and steps back; the scalar baseline
+    // stays pinned on the inflated mixture.
+    for (const bool vector : {false, true}) {
+        SyntheticActuator env;
+        LearnedParams p = fastParams();
+        p.vectorConditioned = vector;
+        LearnedRuntime rt(env, p, 1);
+        for (int i = 0; i < 10; ++i)
+            rt.onInterval(twoTenants(i % 2 ? 0.93 : 0.53,
+                                     i % 2 ? 0.53 : 0.93));
+        rt.onInterval(twoTenants(1.02, 0.70)); // mild violation
+        EXPECT_GT(env.variant, 0);
+        for (int i = 0; i < 6; ++i)
+            rt.onInterval(twoTenants(0.5, 0.5)); // deep slack
+        if (vector)
+            EXPECT_EQ(env.variant, 0) << "vector model must step back";
+        else
+            EXPECT_GT(env.variant, 0) << "scalar mixture stays stuck";
+    }
+}
+
+TEST(LearnedVectorTest, SingleServicePathIgnoresConditioningFlag)
+{
+    // With one tenant the vector and scalar controllers must make
+    // identical decisions — the single-service fallback guarantee.
+    SyntheticActuator a, b;
+    LearnedParams scalar = fastParams();
+    scalar.vectorConditioned = false;
+    LearnedRuntime ra(a, fastParams(), 9), rb(b, scalar, 9);
+    for (int i = 0; i < 80; ++i) {
+        ra.onInterval(a.latency(), 200.0);
+        rb.onInterval(b.latency(), 200.0);
+        ASSERT_EQ(a.variant, b.variant) << "interval " << i;
+        ASSERT_EQ(a.cores, b.cores) << "interval " << i;
+    }
+}
+
+TEST(LearnedVectorTest, ModelSurvivesMigrationRoundTrip)
+{
+    SyntheticActuator src;
+    LearnedRuntime source(src, fastParams(), 1);
+    for (int i = 0; i < 12; ++i)
+        source.onInterval(twoTenants(0.9, 0.3));
+
+    // Engine detach path: serialize, then drop the task.
+    pliant::approx::TaskState state;
+    state.app = "canneal";
+    source.exportModel(0, state);
+    ASSERT_FALSE(state.runtimeModel.empty());
+
+    // Engine attach path on another node hosting the same tenant
+    // names: the rehydrated model reproduces the learned estimates.
+    SyntheticActuator dst;
+    LearnedRuntime migrated(dst, fastParams(), 2);
+    migrated.onTaskRemoved(0); // the destination had no prior task
+    migrated.onTaskAdded(state);
+    EXPECT_TRUE(migrated.explored(0, 0));
+    EXPECT_NEAR(migrated.estimate(0, 0), source.estimate(0, 0),
+                1e-12);
+    EXPECT_TRUE(migrated.explored(0, 0, "svc-a"));
+    EXPECT_NEAR(migrated.estimate(0, 0, "svc-a"),
+                source.estimate(0, 0, "svc-a"), 1e-12);
+    EXPECT_NEAR(migrated.estimate(0, 0, "svc-b"),
+                source.estimate(0, 0, "svc-b"), 1e-12);
+}
+
+TEST(LearnedVectorTest, DormantMigratedSlotsAreNotPublishedAsRelief)
+{
+    // Train against one tenant pair, then "migrate" the model onto a
+    // node hosting differently-named tenants: the carried slots stay
+    // usable if those names ever appear, but they must NOT surface
+    // as relief predictions — the destination's placement signal
+    // would otherwise read the source node's past pressure as this
+    // node's floor.
+    SyntheticActuator src;
+    LearnedRuntime source(src, fastParams(), 1);
+    for (int i = 0; i < 8; ++i)
+        source.onInterval(twoTenants(0.95, 0.9));
+    pliant::approx::TaskState state;
+    source.exportModel(0, state);
+
+    SyntheticActuator dst;
+    LearnedRuntime migrated(dst, fastParams(), 2);
+    migrated.onTaskRemoved(0);
+    migrated.onTaskAdded(state);
+    std::vector<ServiceReport> other(1);
+    other[0].name = "svc-x";
+    other[0].qosUs = 100.0;
+    other[0].interval.p99Us = 50.0;
+    migrated.onInterval(other);
+    for (const auto &relief : migrated.reliefPredictions()) {
+        EXPECT_NE(relief.service, "svc-a");
+        EXPECT_NE(relief.service, "svc-b");
+    }
+}
+
+TEST(LearnedVectorTest, ReliefPredictionsReportLearnedFloors)
+{
+    SyntheticActuator env;
+    LearnedRuntime rt(env, fastParams(), 1);
+    // No data yet: no predictions.
+    EXPECT_TRUE(rt.reliefPredictions().empty());
+
+    // Train with ratios inside the hold band (no violation, slack
+    // below threshold), so the manually stepped variant sticks:
+    // tenant a improves as the task approximates deeper, tenant b
+    // stays put — the floors must reflect both.
+    for (int v = 0; v <= 3; ++v) {
+        env.variant = v;
+        for (int i = 0; i < 4; ++i)
+            rt.onInterval(twoTenants(0.98 - 0.04 * v, 0.92));
+    }
+    const auto relief = rt.reliefPredictions();
+    ASSERT_EQ(relief.size(), 2u);
+    EXPECT_EQ(relief[0].service, "svc-a");
+    // Best learned ratio over variants >= the current one (v=3).
+    EXPECT_NEAR(relief[0].predictedRatio, 0.86, 1e-9);
+    EXPECT_EQ(relief[1].service, "svc-b");
+    EXPECT_NEAR(relief[1].predictedRatio, 0.92, 1e-9);
+
+    // A finished task publishes nothing.
+    env.finished = true;
+    EXPECT_TRUE(rt.reliefPredictions().empty());
+}
+
 /** The learner works across different environment difficulty levels. */
 class LearnedSweepTest : public ::testing::TestWithParam<int>
 {
