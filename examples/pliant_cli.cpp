@@ -14,6 +14,9 @@
  *              [--cache-partitioning] [--csv timeline|summary]
  *              [--nodes N] [--placement static|least-loaded|qos-aware]
  *              [--epoch-s 5.0]
+ *              [--admission accept-all|drop-tail|prob-shed|qos-shed]
+ *              [--batching none|fixed:<N>|adaptive:<usec>]
+ *              [--queue-bound-qos F]
  *              [--list-apps]
  *
  * --services runs a multi-service colocation (one tenant per listed
@@ -26,6 +29,11 @@
  * --nodes N > 1 runs a cluster: every node hosts the service list,
  * and --placement decides where the apps land (and, for qos-aware,
  * whether they migrate at --epoch-s boundaries).
+ * --admission / --batching enable the request-level admission
+ * front-end on every tenant: queueing delay composes into the
+ * monitored tails, shed/batch counters appear in the tables and CSV
+ * exports, and --queue-bound-qos sizes the queue in multiples of
+ * each service's QoS target.
  */
 
 #include <algorithm>
@@ -59,8 +67,56 @@ usage(const char *argv0)
            " [--cache-partitioning] [--csv timeline|summary]"
            " [--nodes N] [--placement static|least-loaded|qos-aware]"
            " [--epoch-s S]"
+           " [--admission accept-all|drop-tail|prob-shed|qos-shed]"
+           " [--batching none|fixed:<N>|adaptive:<usec>]"
+           " [--queue-bound-qos F]"
            " [--list-apps]\n";
     std::exit(2);
+}
+
+admission::AdmissionKind
+parseAdmission(const std::string &s, const char *argv0)
+{
+    if (s == "accept-all")
+        return admission::AdmissionKind::AcceptAll;
+    if (s == "drop-tail")
+        return admission::AdmissionKind::DropTail;
+    if (s == "prob-shed")
+        return admission::AdmissionKind::ProbabilisticShed;
+    if (s == "qos-shed")
+        return admission::AdmissionKind::QosShed;
+    usage(argv0);
+}
+
+/** `none`, `fixed:<N>`, or `adaptive:<timeout_us>`. */
+void
+parseBatching(const std::string &s, admission::AdmissionConfig &cfg,
+              const char *argv0)
+{
+    if (s == "none") {
+        cfg.batching = admission::BatchingKind::None;
+        return;
+    }
+    // Exact name, or name:<param> — anything else (fixed=32,
+    // fixed:, adaptiveXYZ) is a usage error, not a silent fallback
+    // to the default parameter.
+    if (s == "fixed" || s.rfind("fixed:", 0) == 0) {
+        cfg.batching = admission::BatchingKind::Fixed;
+        if (s.size() > 6)
+            cfg.batchSize = std::stoi(s.substr(6));
+        else if (s.size() == 6)
+            usage(argv0);
+        return;
+    }
+    if (s == "adaptive" || s.rfind("adaptive:", 0) == 0) {
+        cfg.batching = admission::BatchingKind::Adaptive;
+        if (s.size() > 9)
+            cfg.batchTimeoutUs = std::stod(s.substr(9));
+        else if (s.size() == 9)
+            usage(argv0);
+        return;
+    }
+    usage(argv0);
 }
 
 services::ServiceKind
@@ -178,6 +234,15 @@ main(int argc, char **argv)
             placement = parsePlacement(next(), argv[0]);
         } else if (arg == "--epoch-s") {
             epoch = sim::fromSeconds(std::stod(next()));
+        } else if (arg == "--admission") {
+            cfg.admission.enabled = true;
+            cfg.admission.policy = parseAdmission(next(), argv[0]);
+        } else if (arg == "--batching") {
+            cfg.admission.enabled = true;
+            parseBatching(next(), cfg.admission, argv[0]);
+        } else if (arg == "--queue-bound-qos") {
+            cfg.admission.enabled = true;
+            cfg.admission.queueBoundQos = std::stod(next());
         } else if (arg == "--csv") {
             csv_mode = next();
         } else if (arg == "--list-apps") {
@@ -228,16 +293,17 @@ main(int argc, char **argv)
                 for (const auto &spec : cfg.services)
                     builder.serviceOnAll(spec.kind, spec.scenario);
             }
-            const cluster::ClusterConfig ccfg =
-                builder.apps(cfg.apps)
-                    .runtime(cfg.runtime)
-                    .learnedVector(cfg.learnedVector)
-                    .decisionInterval(cfg.decisionInterval)
-                    .cachePartitioning(cfg.enableCachePartitioning)
-                    .placement(placement)
-                    .epoch(epoch)
-                    .seed(cfg.seed)
-                    .build();
+            builder.apps(cfg.apps)
+                .runtime(cfg.runtime)
+                .learnedVector(cfg.learnedVector)
+                .decisionInterval(cfg.decisionInterval)
+                .cachePartitioning(cfg.enableCachePartitioning)
+                .placement(placement)
+                .epoch(epoch)
+                .seed(cfg.seed);
+            if (cfg.admission.enabled)
+                builder.admission(cfg.admission);
+            const cluster::ClusterConfig ccfg = builder.build();
             cluster::Cluster cl(ccfg);
             const cluster::ClusterResult r = cl.run();
 
@@ -322,6 +388,16 @@ main(int argc, char **argv)
                           "x"});
             t.addRow({svc.name + " intervals meeting QoS",
                       util::fmtPct(svc.qosMetFraction, 0)});
+        }
+        if (r.admissionEnabled) {
+            for (const auto &svc : r.services) {
+                t.addRow({svc.name + " requests shed",
+                          util::fmtPct(svc.shedFraction, 2)});
+                t.addRow({svc.name + " mean queue delay",
+                          util::fmt(svc.meanQueueDelayUs, 1) + " us"});
+                t.addRow({svc.name + " mean batch size",
+                          util::fmt(svc.meanBatchSize, 1)});
+            }
         }
         for (const auto &app : r.apps) {
             t.addRow({app.name + " inaccuracy",

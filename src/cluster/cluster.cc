@@ -68,6 +68,8 @@ validateClusterConfig(const ClusterConfig &cfg)
                     " s) must be at least the decision interval (",
                     sim::toSeconds(cfg.decisionInterval),
                     " s): placement acts on closed interval reports");
+    // Inert when disabled; every field checked when enabled.
+    admission::validateAdmissionConfig(cfg.admission);
 }
 
 std::uint64_t
@@ -113,6 +115,7 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         nc.tick = cfg.tick;
         nc.maxDuration = cfg.maxDuration;
         nc.enableCachePartitioning = cfg.enableCachePartitioning;
+        nc.admission = cfg.admission;
         nc.seed = nodeSeed(cfg.seed, i);
         for (std::size_t a = 0; a < cfg.apps.size(); ++a) {
             if (assignment[a] != i)
@@ -145,6 +148,9 @@ Cluster::gatherStatuses() const
         for (const auto &relief : st.relief)
             st.reliefRatio =
                 std::max(st.reliefRatio, relief.predictedRatio);
+        for (const auto &report : st.services)
+            st.admissionShedFraction = std::max(
+                st.admissionShedFraction, report.shedFraction);
         st.apps.reserve(engines[i]->appCount());
         for (std::size_t a = 0; a < engines[i]->appCount(); ++a) {
             AppStatus app;
@@ -456,6 +462,26 @@ ClusterConfigBuilder &
 ClusterConfigBuilder::placement(PlacementKind kind)
 {
     cfg.placement = kind;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::admission(
+    pliant::admission::AdmissionConfig admission_cfg)
+{
+    cfg.admission = std::move(admission_cfg);
+    cfg.admission.enabled = true;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::admission(
+    pliant::admission::AdmissionKind policy,
+    pliant::admission::BatchingKind batching)
+{
+    cfg.admission.enabled = true;
+    cfg.admission.policy = policy;
+    cfg.admission.batching = batching;
     return *this;
 }
 

@@ -76,6 +76,14 @@ struct ClusterConfig
     sim::Time maxDuration = 600 * sim::kSecond;
     bool enableCachePartitioning = false;
 
+    /**
+     * Request-level admission control & batching front-end, applied
+     * to every interactive tenant on every node (see
+     * colo::ColoConfig::admission). Disabled by default; disabled
+     * clusters are byte-identical to pre-admission ones.
+     */
+    admission::AdmissionConfig admission;
+
     /** How apps land on nodes, and whether they move. */
     PlacementKind placement = PlacementKind::Static;
 
@@ -197,6 +205,19 @@ class ClusterConfigBuilder
     /** Learned runtime: vector-conditioned (default) vs worst-ratio. */
     ClusterConfigBuilder &learnedVector(bool enable = true);
     ClusterConfigBuilder &placement(PlacementKind kind);
+
+    /**
+     * Enable the admission front-end cluster-wide (see
+     * colo::ConfigBuilder::admission; types spelled via pliant::
+     * because the method name hides the namespace in class scope).
+     */
+    ClusterConfigBuilder &
+    admission(pliant::admission::AdmissionConfig cfg);
+    ClusterConfigBuilder &
+    admission(pliant::admission::AdmissionKind policy,
+              pliant::admission::BatchingKind batching =
+                  pliant::admission::BatchingKind::None);
+
     ClusterConfigBuilder &epoch(sim::Time epoch);
     ClusterConfigBuilder &decisionInterval(sim::Time interval);
     ClusterConfigBuilder &slackThreshold(double threshold);

@@ -89,14 +89,24 @@ namespace {
  * approximation leaves a tenant at 1.3x QoS is a migration source at
  * pressure 1.3 regardless of how much quality its control loop is
  * currently burning to mask the violation — migrate before
- * approximating further.
+ * approximating further. The same logic extends to the admission
+ * front-end: a node shedding fraction f of its arrivals has a
+ * latency picture measured on only (1 - f) of the demand, so its
+ * pressure is rescaled by 1 / (1 - f) — the node is treated as the
+ * overloaded node it would be were it serving everything. Both
+ * corrections are no-ops for nodes without a model / without
+ * admission, keeping pre-admission experiments bit-unchanged.
  */
 double
 sourcePressure(const NodeStatus &node)
 {
-    return node.reliefRatio >= 0.0
+    double pressure = node.reliefRatio >= 0.0
         ? std::max(node.worstRatio, node.reliefRatio)
         : node.worstRatio;
+    if (node.admissionShedFraction > 0.0)
+        pressure /=
+            std::max(0.05, 1.0 - node.admissionShedFraction);
+    return pressure;
 }
 
 } // namespace

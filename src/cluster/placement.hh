@@ -96,6 +96,16 @@ struct NodeStatus
      * the runtime offers no prediction.
      */
     double reliefRatio = -1.0;
+
+    /**
+     * Worst per-service shed fraction reported by the node's
+     * admission front-end over the last interval (0 when admission
+     * is disabled). A node that meets QoS only by turning a third
+     * of its requests away is still pressured: QosAware placement
+     * rescales the node's source pressure by 1 / (1 - shed), the
+     * ratio the node would roughly be at had it served everything.
+     */
+    double admissionShedFraction = 0.0;
 };
 
 /** A migration the policy requests at an epoch boundary. */

@@ -118,6 +118,24 @@ ConfigBuilder::cachePartitioning(bool enable)
     return *this;
 }
 
+ConfigBuilder &
+ConfigBuilder::admission(pliant::admission::AdmissionConfig admission_cfg)
+{
+    cfg.admission = std::move(admission_cfg);
+    cfg.admission.enabled = true;
+    return *this;
+}
+
+ConfigBuilder &
+ConfigBuilder::admission(pliant::admission::AdmissionKind policy,
+                         pliant::admission::BatchingKind batching)
+{
+    cfg.admission.enabled = true;
+    cfg.admission.policy = policy;
+    cfg.admission.batching = batching;
+    return *this;
+}
+
 ColoConfig
 ConfigBuilder::build() const
 {

@@ -76,6 +76,21 @@ class ConfigBuilder
     ConfigBuilder &cachePartitioning(bool enable = true);
 
     /**
+     * Enable the admission front-end with the given (possibly
+     * customized) config; build() validates its fields. (Types are
+     * spelled via pliant:: because the method name `admission`
+     * hides the namespace inside this class scope.)
+     */
+    ConfigBuilder &
+    admission(pliant::admission::AdmissionConfig cfg);
+
+    /** Enable admission with the given policies, defaults elsewhere. */
+    ConfigBuilder &
+    admission(pliant::admission::AdmissionKind policy,
+              pliant::admission::BatchingKind batching =
+                  pliant::admission::BatchingKind::None);
+
+    /**
      * Validate and return the config. Throws util::FatalError with
      * the first problem found (duplicate tenants/apps, unknown
      * catalog names, out-of-range variants, fair-core starvation).

@@ -237,6 +237,12 @@ validateConfig(const ColoConfig &cfg)
     if (cfg.maxDuration <= 0)
         util::fatal("max duration must be positive");
 
+    // Admission fields are validated only when the front-end is
+    // enabled: a disabled config is inert whatever its fields hold,
+    // which keeps the disabled config space exactly the pre-admission
+    // one.
+    admission::validateAdmissionConfig(cfg.admission);
+
     const int n_apps = static_cast<int>(cfg.apps.size());
     const int n_services = static_cast<int>(specs.size());
     const int fair = Engine::fairShare(cfg.spec, n_apps, n_services);
@@ -285,6 +291,10 @@ Engine::Engine(ColoConfig config)
             scfg, wl, cfg.seed ^ 0x51 ^ tenantSalt(i));
         t.monitor = std::make_unique<core::PerformanceMonitor>(
             4096, cfg.seed ^ 0x30 ^ tenantSalt(i));
+        if (cfg.admission.enabled)
+            t.admission = std::make_unique<admission::AdmissionQueue>(
+                cfg.admission, scfg.saturationQps, scfg.qosUs,
+                cfg.seed ^ 0xAD ^ tenantSalt(i));
         tenants.push_back(std::move(t));
     }
 
@@ -348,6 +358,7 @@ Engine::Engine(ColoConfig config)
     partial.service = tenants[0].service->name();
     partial.runtime = runtime->name();
     partial.qosUs = tenants[0].service->qosUs();
+    partial.admissionEnabled = cfg.admission.enabled;
     partial.rosterChanges.push_back({0, cfg.apps});
 }
 
@@ -435,9 +446,14 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
         const sim::Time tick_start = clock.now();
 
         // 0. Scenario layer: re-target every tenant's mean load.
-        for (auto &ten : tenants)
-            ten.service->setBaseLoad(
-                ten.spec.scenario.loadAt(tick_start));
+        //    Tenants with an admission front-end defer: their
+        //    service sees the *dispatched* load, computed below once
+        //    this tick's capacity estimate (inflation) is known.
+        for (auto &ten : tenants) {
+            ten.rawLoad = ten.spec.scenario.loadAt(tick_start);
+            if (!ten.admission)
+                ten.service->setBaseLoad(ten.rawLoad);
+        }
 
         // 1. Gather pressures and compute the inflation each service
         //    experiences this tick. A service's co-runners are every
@@ -457,10 +473,33 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                 contention, tenants[s].service->config().sensitivity);
         }
 
+        // 1.5 Admission front-end: turn scenario arrivals into the
+        //     dispatched load each service actually serves, capped
+        //     at the service's current capacity estimate
+        //     ((cores / fair cores) / inflation) so overload piles
+        //     up in the explicit queue where the policies can shed
+        //     or batch it.
+        for (std::size_t s = 0; s < tenants.size(); ++s) {
+            auto &ten = tenants[s];
+            if (!ten.admission)
+                continue;
+            const double capacity =
+                static_cast<double>(ten.service->cores()) /
+                static_cast<double>(ten.fairCores) / inflationBuf[s];
+            ten.admOut =
+                ten.admission->tick(ten.rawLoad, capacity, cfg.tick);
+            ten.service->setBaseLoad(ten.admOut.dispatchedLoad);
+        }
+
         // 2. Advance the services and the approximate tasks.
         for (std::size_t s = 0; s < tenants.size(); ++s) {
             auto &ten = tenants[s];
             ten.service->tick(cfg.tick, inflationBuf[s], ten.tickBuf);
+            // End-to-end latency = queue+batch wait at the front
+            // door plus the (interference-inflated) service time.
+            if (ten.admission)
+                for (double &sample : ten.tickBuf.sampleUs)
+                    sample += ten.admOut.queueDelayUs;
             ten.monitor->observe(ten.tickBuf.sampleUs);
             if (tick_start >= warmup) {
                 for (double sample : ten.tickBuf.sampleUs)
@@ -484,6 +523,13 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                 auto &ten = tenants[s];
                 reports[s].interval = ten.monitor->closeInterval();
                 reports[s].qosUs = ten.service->qosUs();
+                if (ten.admission) {
+                    const admission::AdmissionStats stats =
+                        ten.admission->closeInterval();
+                    reports[s].shedFraction = stats.shedFraction();
+                    reports[s].queueDelayUs = stats.meanQueueDelayUs;
+                    reports[s].batchSize = stats.meanBatchSize;
+                }
                 if (reports[s].interval.p99Us <= reports[s].qosUs)
                     ++ten.qosMetIntervals;
                 if (reports[s].ratio() > worst) {
@@ -495,6 +541,26 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
             const core::Decision decision =
                 runtime->onInterval(reports);
 
+            // Feed the QoS picture back to the admission layer so
+            // the QoS-guided shed policy can coordinate with the
+            // approximation the runtime just (maybe) actuated: shed
+            // only what the runtime's predicted relief floor says
+            // local approximation cannot absorb.
+            if (cfg.admission.enabled) {
+                const std::vector<core::ServiceRelief> relief =
+                    runtime->reliefPredictions();
+                for (std::size_t s = 0; s < tenants.size(); ++s) {
+                    double floor = -1.0;
+                    for (const auto &r : relief)
+                        if (r.service == reports[s].name) {
+                            floor = r.predictedRatio;
+                            break;
+                        }
+                    tenants[s].admission->onQosFeedback(
+                        reports[s].ratio(), floor);
+                }
+            }
+
             TimePoint tp;
             tp.t = now;
             tp.p99Us = reports[0].interval.p99Us;
@@ -502,7 +568,9 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
             tp.services.reserve(tenants.size());
             for (std::size_t s = 0; s < tenants.size(); ++s)
                 tp.services.push_back({reports[s].interval.p99Us,
-                                       tenants[s].lastLoad});
+                                       tenants[s].lastLoad,
+                                       reports[s].shedFraction,
+                                       reports[s].queueDelayUs});
             tp.partitionWays = partition.serviceWays();
             tp.decision = decision;
             for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -589,6 +657,13 @@ Engine::finalize()
         out.qosUs = ten.service->qosUs();
         out.overallP99Us = ten.monitor->longRunP99();
         out.steadyP99Us = ten.steady.value();
+        if (ten.admission) {
+            const admission::AdmissionStats life =
+                ten.admission->lifetime();
+            out.shedFraction = life.shedFraction();
+            out.meanQueueDelayUs = life.meanQueueDelayUs;
+            out.meanBatchSize = life.meanBatchSize;
+        }
 
         double sum_p99 = 0.0;
         std::size_t n_intervals = 0;

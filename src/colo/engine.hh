@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "admission/admission.hh"
 #include "approx/task.hh"
 #include "colo/scenario.hh"
 #include "core/actuator.hh"
@@ -136,6 +137,15 @@ struct ColoConfig
      * the interactive services before reclaiming cores.
      */
     bool enableCachePartitioning = false;
+
+    /**
+     * Request-level admission control & async batching front-end,
+     * applied to every interactive tenant. Disabled by default —
+     * and a disabled front-end is byte-identical to an engine
+     * without the subsystem (no queue is constructed, no RNG stream
+     * is touched; pinned by regression tests).
+     */
+    admission::AdmissionConfig admission;
 };
 
 /** One service's slice of a sampled timeline point. */
@@ -143,6 +153,10 @@ struct ServicePoint
 {
     double p99Us = 0.0;
     double loadFraction = 0.0;
+
+    /** Admission front-end, this interval (neutral when disabled). */
+    double shedFraction = 0.0;
+    double queueDelayUs = 0.0;
 };
 
 /** One sampled point of the experiment time series. */
@@ -179,6 +193,15 @@ struct ServiceOutcome
     double steadyP99Us = 0.0;
     double meanIntervalP99Us = 0.0;
     double qosMetFraction = 0.0;
+
+    /**
+     * Whole-run admission rollups (neutral when the front-end is
+     * disabled): fraction of all arrivals shed, dispatch-weighted
+     * mean queue+batch delay, and mean effective batch size.
+     */
+    double shedFraction = 0.0;
+    double meanQueueDelayUs = 0.0;
+    double meanBatchSize = 1.0;
 };
 
 /**
@@ -200,6 +223,12 @@ struct ColoResult
     std::string service; ///< primary (first) service's name
     std::string runtime;
     double qosUs = 0.0;  ///< primary service's QoS target
+
+    /**
+     * Whether the admission front-end ran. Output writers key new
+     * columns on this so disabled runs stay byte-identical.
+     */
+    bool admissionEnabled = false;
 
     /** Overall p99 across every request sample of the run. */
     double overallP99Us = 0.0;
@@ -398,6 +427,16 @@ class Engine
         double lastLoad = 0.0;
         int qosMetIntervals = 0;
         int fairCores = 0;
+
+        double rawLoad = 0.0; ///< this tick's scenario load
+        admission::AdmissionOutcome admOut; ///< this tick's outcome
+
+        /**
+         * Admission front-end (null when disabled). Declared last:
+         * a member named `admission` hides the namespace for the
+         * declarations after it.
+         */
+        std::unique_ptr<admission::AdmissionQueue> admission;
     };
 
     bool allFinished() const;

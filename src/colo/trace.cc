@@ -50,6 +50,12 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
         header.push_back(result.services[s].name + "_p99_us");
         header.push_back(result.services[s].name + "_load");
     }
+    if (result.admissionEnabled) {
+        for (const auto &svc : result.services) {
+            header.push_back(svc.name + "_shed");
+            header.push_back(svc.name + "_qdelay_us");
+        }
+    }
     csv.writeRow(header);
 
     std::size_t roster = 0;
@@ -84,6 +90,12 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
             row.push_back(util::fmt(tp.services[s].p99Us, 1));
             row.push_back(util::fmt(tp.services[s].loadFraction, 4));
         }
+        if (result.admissionEnabled) {
+            for (const auto &svc : tp.services) {
+                row.push_back(util::fmt(svc.shedFraction, 4));
+                row.push_back(util::fmt(svc.queueDelayUs, 1));
+            }
+        }
         csv.writeRow(row);
     }
 }
@@ -92,11 +104,18 @@ void
 writeSummaryCsv(std::ostream &os, const ColoResult &result)
 {
     util::CsvWriter csv(os);
-    csv.writeRow({"service", "runtime", "qos_us", "steady_p99_us",
-                  "mean_interval_p99_us", "qos_met_fraction",
-                  "max_cores_reclaimed", "typical_cores_reclaimed",
-                  "max_partition_ways", "apps", "mean_inaccuracy",
-                  "mean_rel_exec"});
+    std::vector<std::string> header{
+        "service", "runtime", "qos_us", "steady_p99_us",
+        "mean_interval_p99_us", "qos_met_fraction",
+        "max_cores_reclaimed", "typical_cores_reclaimed",
+        "max_partition_ways", "apps", "mean_inaccuracy",
+        "mean_rel_exec"};
+    if (result.admissionEnabled) {
+        header.push_back("shed_fraction");
+        header.push_back("mean_queue_delay_us");
+        header.push_back("mean_batch_size");
+    }
+    csv.writeRow(header);
     double inacc = 0.0, rel = 0.0;
     std::string apps;
     for (const auto &a : result.apps) {
@@ -108,15 +127,21 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
     }
     const double n = static_cast<double>(result.apps.size());
     for (const auto &svc : result.services) {
-        csv.writeRow({svc.name, result.runtime,
-                      util::fmt(svc.qosUs, 1),
-                      util::fmt(svc.steadyP99Us, 1),
-                      util::fmt(svc.meanIntervalP99Us, 1),
-                      util::fmt(svc.qosMetFraction, 4),
-                      std::to_string(result.maxCoresReclaimedTotal),
-                      std::to_string(result.typicalCoresReclaimed),
-                      std::to_string(result.maxPartitionWays), apps,
-                      util::fmt(inacc / n, 5), util::fmt(rel / n, 4)});
+        std::vector<std::string> row{
+            svc.name, result.runtime, util::fmt(svc.qosUs, 1),
+            util::fmt(svc.steadyP99Us, 1),
+            util::fmt(svc.meanIntervalP99Us, 1),
+            util::fmt(svc.qosMetFraction, 4),
+            std::to_string(result.maxCoresReclaimedTotal),
+            std::to_string(result.typicalCoresReclaimed),
+            std::to_string(result.maxPartitionWays), apps,
+            util::fmt(inacc / n, 5), util::fmt(rel / n, 4)};
+        if (result.admissionEnabled) {
+            row.push_back(util::fmt(svc.shedFraction, 4));
+            row.push_back(util::fmt(svc.meanQueueDelayUs, 1));
+            row.push_back(util::fmt(svc.meanBatchSize, 2));
+        }
+        csv.writeRow(row);
     }
 }
 

@@ -22,12 +22,17 @@ namespace colo {
  * multi-service runs — per additional service: <name>_p99_us,
  * <name>_load. The base p99/load columns always refer to the
  * primary (first) service, so single-service traces are unchanged.
+ * Runs with the admission front-end enabled additionally get, per
+ * service: <name>_shed, <name>_qdelay_us — the columns are keyed on
+ * ColoResult::admissionEnabled so disabled runs stay byte-identical.
  */
 void writeTimelineCsv(std::ostream &os, const ColoResult &result);
 
 /**
  * Write the experiment summary as CSV (with header): one row per
  * interactive service, so a single-service run stays a single row.
+ * Admission-enabled runs append shed_fraction,
+ * mean_queue_delay_us, and mean_batch_size columns.
  */
 void writeSummaryCsv(std::ostream &os, const ColoResult &result);
 

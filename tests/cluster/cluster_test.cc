@@ -328,6 +328,72 @@ TEST(ClusterDeterminismTest, BatchSweepIdenticalAt1And6Threads)
         expectIdenticalCluster(one[i], many[i]);
 }
 
+TEST(ClusterDeterminismTest, AdmissionRunIdenticalAt1And6Threads)
+{
+    // The admission front-end adds per-tenant queue state (SplitMix64
+    // arrival jitter, gate state, interval counters) that must stay
+    // byte-identical at any worker thread count, migrations included.
+    ClusterConfig one_cfg = acceptanceConfig(
+        PlacementKind::QosAware, core::RuntimeKind::Precise, 1);
+    one_cfg.admission.enabled = true;
+    one_cfg.admission.policy = admission::AdmissionKind::QosShed;
+    ClusterConfig many_cfg = one_cfg;
+    many_cfg.threads = 6;
+
+    const auto one = Cluster(one_cfg).run();
+    const auto many = Cluster(many_cfg).run();
+    // The crowd must actually engage both subsystems for this to pin
+    // anything: requests shed on some node, and a migration.
+    EXPECT_FALSE(one.migrations.empty());
+    double max_shed = 0.0;
+    for (const auto &node : one.nodes)
+        for (const auto &svc : node.result.services)
+            max_shed = std::max(max_shed, svc.shedFraction);
+    EXPECT_GT(max_shed, 0.0);
+    expectIdenticalCluster(one, many);
+}
+
+TEST(ClusterRegressionTest, SingleNodeClusterWithAdmissionEqualsBareEngine)
+{
+    const ClusterConfig cfg =
+        ClusterConfigBuilder()
+            .node("solo")
+            .service(services::ServiceKind::Memcached,
+                     colo::Scenario::flashCrowd(0.45, 1.15, 10 * kS,
+                                                3 * kS, 25 * kS,
+                                                5 * kS))
+            .service(services::ServiceKind::Nginx,
+                     colo::Scenario::constant(0.45))
+            .apps({"canneal", "bayesian"})
+            .runtime(core::RuntimeKind::Pliant)
+            .admission(admission::AdmissionKind::QosShed)
+            .epoch(5 * kS)
+            .maxDuration(120 * kS)
+            .seed(71)
+            .build();
+
+    Cluster cl(cfg);
+    const colo::ColoConfig node_cfg = cl.nodeConfig(0);
+    EXPECT_TRUE(node_cfg.admission.enabled);
+
+    colo::Engine bare(node_cfg);
+    const colo::ColoResult direct = bare.run();
+
+    const ClusterResult r = cl.run();
+    ASSERT_EQ(r.nodes.size(), 1u);
+    expectIdenticalColo(r.nodes[0].result, direct);
+    // The admission rollups are part of the contract too.
+    ASSERT_EQ(r.nodes[0].result.services.size(),
+              direct.services.size());
+    for (std::size_t s = 0; s < direct.services.size(); ++s) {
+        EXPECT_EQ(r.nodes[0].result.services[s].shedFraction,
+                  direct.services[s].shedFraction);
+        EXPECT_EQ(r.nodes[0].result.services[s].meanQueueDelayUs,
+                  direct.services[s].meanQueueDelayUs);
+    }
+    EXPECT_GT(direct.services[0].shedFraction, 0.0);
+}
+
 TEST(ClusterPlacementTest, StaticAssignsRoundRobin)
 {
     Cluster cl(acceptanceConfig(PlacementKind::Static,

@@ -5,9 +5,11 @@
  * through colo::ConfigBuilder and cluster::ClusterConfigBuilder, and
  * every one of them must throw util::FatalError at build() time —
  * never later, inside the tick loop (where a zero tick would hang
- * and a bad variant index would fault). Randomized *valid*
- * configurations must build and construct their Engine/Cluster
- * without throwing.
+ * and a bad variant index would fault). Invalid admission-control
+ * fields are one of the randomized classes, so the front-end's
+ * config surface is held to the same contract. Randomized *valid*
+ * configurations (with and without an admission front-end) must
+ * build and construct their Engine/Cluster without throwing.
  */
 
 #include <string>
@@ -15,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "admission/admission.hh"
 #include "approx/profile.hh"
 #include "cluster/cluster.hh"
 #include "colo/builder.hh"
@@ -47,6 +50,50 @@ loadDraw(util::SplitMix64 &sm)
     return 0.3 + 0.6 * static_cast<double>(sm.next() % 1000) / 1000.0;
 }
 
+/**
+ * A randomly-invalid (enabled) admission config: exactly one field
+ * driven out of range, everything else default.
+ */
+admission::AdmissionConfig
+invalidAdmissionDraw(util::SplitMix64 &sm)
+{
+    admission::AdmissionConfig cfg;
+    cfg.enabled = true;
+    switch (sm.next() % 8) {
+      case 0:
+        cfg.queueBoundQos =
+            -static_cast<double>(sm.next() % 100) / 10.0;
+        break;
+      case 1:
+        cfg.shedThreshold =
+            1.0 + static_cast<double>(sm.next() % 100) / 100.0;
+        break;
+      case 2:
+        cfg.shedAggressiveness = 0.0;
+        break;
+      case 3:
+        cfg.maxShedFraction =
+            1.0 + static_cast<double>(1 + sm.next() % 100) / 100.0;
+        break;
+      case 4:
+        cfg.batchSize = -static_cast<int>(sm.next() % 5);
+        break;
+      case 5:
+        cfg.batchTimeoutUs = 0.0;
+        break;
+      case 6:
+        cfg.batchEfficiency =
+            1.0 + static_cast<double>(sm.next() % 50) / 100.0;
+        break;
+      default:
+        cfg.dispatchUtilization = sm.next() % 2 == 0
+            ? 0.0
+            : 1.0 + static_cast<double>(1 + sm.next() % 50) / 100.0;
+        break;
+    }
+    return cfg;
+}
+
 TEST(BuilderPropertyTest, RandomInvalidColoConfigsThrowAtBuildTime)
 {
     util::SplitMix64 sm(0xC010BADu);
@@ -54,7 +101,7 @@ TEST(BuilderPropertyTest, RandomInvalidColoConfigsThrowAtBuildTime)
         colo::ConfigBuilder builder;
         builder.service(services::ServiceKind::Memcached,
                         colo::Scenario::constant(loadDraw(sm)));
-        const auto kind = sm.next() % 7;
+        const auto kind = sm.next() % 8;
         switch (kind) {
           case 0: { // duplicate app
             const auto apps = pickApps(sm, 1);
@@ -105,10 +152,15 @@ TEST(BuilderPropertyTest, RandomInvalidColoConfigsThrowAtBuildTime)
             }
             break;
           }
-          default: { // decision interval shorter than the tick
+          case 6: { // decision interval shorter than the tick
             builder.apps(pickApps(sm, 1));
             builder.tick(10 * sim::kMillisecond);
             builder.decisionInterval(sim::kMillisecond);
+            break;
+          }
+          default: { // out-of-range admission field
+            builder.apps(pickApps(sm, 1));
+            builder.admission(invalidAdmissionDraw(sm));
             break;
           }
         }
@@ -133,6 +185,10 @@ TEST(BuilderPropertyTest, RandomValidColoConfigsBuildAndConstruct)
             .runtime(sm.next() % 2 == 0 ? core::RuntimeKind::Pliant
                                         : core::RuntimeKind::Learned)
             .seed(sm.next());
+        if (sm.next() % 2 == 0)
+            builder.admission(
+                static_cast<admission::AdmissionKind>(sm.next() % 4),
+                static_cast<admission::BatchingKind>(sm.next() % 3));
         colo::ColoConfig cfg;
         ASSERT_NO_THROW(cfg = builder.build()) << "iteration " << iter;
         // Construction binds tenants/tasks but does not tick; a valid
@@ -147,7 +203,7 @@ TEST(BuilderPropertyTest, RandomInvalidClusterConfigsThrowAtBuildTime)
     util::SplitMix64 sm(0xC1BADu);
     for (int iter = 0; iter < 120; ++iter) {
         cluster::ClusterConfigBuilder builder;
-        const auto kind = sm.next() % 7;
+        const auto kind = sm.next() % 8;
         // Most classes need a well-formed base cluster first.
         if (kind != 0 && kind != 1) {
             builder.nodes(1 + sm.next() % 3);
@@ -208,12 +264,17 @@ TEST(BuilderPropertyTest, RandomInvalidClusterConfigsThrowAtBuildTime)
                 builder.app(apps[0]).app(apps[0]);
             }
             break;
-          default: { // out-of-range initial variant
+          case 6: { // out-of-range initial variant
             const auto apps = pickApps(sm, 1);
             const auto &prof = approx::findProfile(apps[0]);
             builder.app(apps[0],
                         static_cast<int>(prof.variants.size()) +
                             static_cast<int>(sm.next() % 4));
+            break;
+          }
+          default: { // out-of-range admission field
+            builder.apps(pickApps(sm, 1));
+            builder.admission(invalidAdmissionDraw(sm));
             break;
           }
         }
@@ -232,14 +293,17 @@ TEST(BuilderPropertyTest, RandomValidClusterConfigsBuildAndConstruct)
         builder.nodes(1 + sm.next() % 3);
         builder.serviceOnAll(services::ServiceKind::Memcached,
                              colo::Scenario::constant(loadDraw(sm)));
+        builder.apps(pickApps(sm, 1 + sm.next() % 4))
+            .placement(sm.next() % 2 == 0
+                           ? cluster::PlacementKind::Static
+                           : cluster::PlacementKind::QosAware)
+            .seed(sm.next());
+        if (sm.next() % 2 == 0)
+            builder.admission(
+                static_cast<admission::AdmissionKind>(sm.next() % 4),
+                static_cast<admission::BatchingKind>(sm.next() % 3));
         cluster::ClusterConfig cfg;
-        ASSERT_NO_THROW(
-            cfg = builder.apps(pickApps(sm, 1 + sm.next() % 4))
-                      .placement(sm.next() % 2 == 0
-                                     ? cluster::PlacementKind::Static
-                                     : cluster::PlacementKind::QosAware)
-                      .seed(sm.next())
-                      .build())
+        ASSERT_NO_THROW(cfg = builder.build())
             << "iteration " << iter;
         ASSERT_NO_THROW(cluster::Cluster cl(cfg))
             << "iteration " << iter;

@@ -8,6 +8,7 @@
 #include "colo/scenario.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -78,6 +79,77 @@ TEST(ScenarioTest, StepSwitchesOnceAndPersists)
     EXPECT_DOUBLE_EQ(s.loadAt(60 * kS - 1), 0.5);
     EXPECT_DOUBLE_EQ(s.loadAt(60 * kS), 0.85);
     EXPECT_DOUBLE_EQ(s.loadAt(599 * kS), 0.85);
+}
+
+TEST(ScenarioTest, StepTransitionTickIsExact)
+{
+    // The engine samples loadAt() on the tick grid; the first tick
+    // at or after `at` must already see the post-step level, and the
+    // last tick before it the base — no off-by-one-tick load jumps.
+    const sim::Time tick = 10 * sim::kMillisecond;
+    const Scenario s = Scenario::step(0.5, 0.85, 60 * kS);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS - tick), 0.5);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS - 1), 0.5);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS), 0.85);
+    EXPECT_DOUBLE_EQ(s.loadAt(60 * kS + tick), 0.85);
+}
+
+TEST(ScenarioTest, FlashCrowdBoundariesAreContinuous)
+{
+    const sim::Time at = 60 * kS, ramp = 10 * kS, hold = 30 * kS,
+                    decay = 20 * kS;
+    const Scenario s = Scenario::flashCrowd(0.6, 0.9, at, ramp, hold,
+                                            decay);
+    // Exact values at every phase transition instant: the ramp
+    // starts at the base (no jump at `at`), reaches the peak exactly
+    // at at+ramp, holds through at+ramp+hold (decay starts at the
+    // peak), and lands back on the base exactly at the end.
+    EXPECT_DOUBLE_EQ(s.loadAt(at), 0.6);
+    EXPECT_DOUBLE_EQ(s.loadAt(at + ramp), 0.9);
+    EXPECT_DOUBLE_EQ(s.loadAt(at + ramp + hold), 0.9);
+    EXPECT_DOUBLE_EQ(s.loadAt(at + ramp + hold + decay), 0.6);
+    EXPECT_DOUBLE_EQ(s.loadAt(at + ramp + hold + decay + 1), 0.6);
+
+    // Across every boundary the per-tick change is bounded by the
+    // steepest linear slope — a transition tick never double-steps.
+    const sim::Time tick = 10 * sim::kMillisecond;
+    const double max_slope_per_tick =
+        (0.9 - 0.6) * static_cast<double>(tick) /
+        static_cast<double>(std::min(ramp, decay));
+    for (sim::Time boundary :
+         {at, at + ramp, at + ramp + hold, at + ramp + hold + decay}) {
+        for (sim::Time t = boundary - 2 * tick;
+             t <= boundary + 2 * tick; t += tick) {
+            const double jump =
+                std::abs(s.loadAt(t + tick) - s.loadAt(t));
+            EXPECT_LE(jump, max_slope_per_tick + 1e-12)
+                << "at t=" << sim::toSeconds(t) << " s";
+        }
+    }
+}
+
+TEST(ScenarioTest, DiurnalPeriodBoundaryHasNoJump)
+{
+    const sim::Time period = 120 * kS;
+    const Scenario s = Scenario::diurnal(0.6, 0.25, period);
+    // Period boundaries return to the base level (sin(2 pi k) = 0),
+    // and the half-period crossing passes through it too.
+    for (int k = 0; k <= 4; ++k) {
+        EXPECT_NEAR(s.loadAt(k * period), 0.6, 1e-9) << "k=" << k;
+        EXPECT_NEAR(s.loadAt(k * period + period / 2), 0.6, 1e-9)
+            << "k=" << k;
+    }
+    // No discontinuity across the boundary: consecutive ticks differ
+    // by at most the sinusoid's max slope (2 pi a b / T per second).
+    const sim::Time tick = 10 * sim::kMillisecond;
+    constexpr double kTwoPi = 6.283185307179586;
+    const double max_slope_per_tick =
+        kTwoPi * 0.25 * 0.6 * sim::toSeconds(tick) /
+        sim::toSeconds(period);
+    for (sim::Time t = period - 3 * tick; t <= period + 3 * tick;
+         t += tick)
+        EXPECT_LE(std::abs(s.loadAt(t + tick) - s.loadAt(t)),
+                  max_slope_per_tick + 1e-12);
 }
 
 TEST(ScenarioTest, LoadAtIsPure)
