@@ -8,6 +8,13 @@
 namespace pliant {
 namespace services {
 
+namespace {
+
+/** Phi^-1(0.99): pins p99/p50 dispersion of the sample lognormal. */
+constexpr double kZ99 = 2.3263478740408408;
+
+} // namespace
+
 std::string
 serviceName(ServiceKind kind)
 {
@@ -81,6 +88,17 @@ InteractiveService::InteractiveService(ServiceConfig config,
 {
     if (cfg.fairCores < 1)
         util::fatal("service needs at least one fair core");
+
+    // Hoisted sample-loop constants. The expressions mirror the old
+    // in-loop computations exactly (sampleSigma is the former
+    // per-tick `sigma`; noiseMu/noiseSd expand lognormalMeanCv's
+    // mean = 1.0, cv = 0.03 parameterization, with log(1.0) = 0), so
+    // the emitted latencies are bit-identical to the scalar path.
+    sampleSigma = std::log(cfg.tailToMedian) / kZ99;
+    const double noise_cv = 0.03;
+    const double noise_sigma2 = std::log(1.0 + noise_cv * noise_cv);
+    noiseMu = std::log(1.0) - 0.5 * noise_sigma2;
+    noiseSd = std::sqrt(noise_sigma2);
 }
 
 void
@@ -133,22 +151,24 @@ InteractiveService::tick(sim::Time dt, double inflation,
     // Transient spike contribution from the backlog.
     p99 += backlogSec * cfg.backlogToUs;
 
-    // Mild measurement/run-to-run noise.
-    p99 *= rng.lognormalMeanCv(1.0, 0.03);
+    // Mild measurement/run-to-run noise (the hoisted parameters of
+    // lognormalMeanCv(1.0, 0.03); same draw, same arithmetic).
+    p99 *= std::exp(noiseMu + noiseSd * rng.normal());
     res.p99Us = p99;
 
     // Emit sampled request latencies whose distribution has the
-    // analytic p99: lognormal with p99/p50 = tailToMedian.
-    const double z99 = 2.3263478740408408; // Phi^-1(0.99)
-    const double sigma = std::log(cfg.tailToMedian) / z99;
-    const double mu = std::log(p99) - z99 * sigma;
-    const double offered_qps =
-        res.offeredLoad * cfg.saturationQps;
+    // analytic p99: lognormal with p99/p50 = tailToMedian. The
+    // draws are batched into the (engine-owned, tick-reused) sample
+    // buffer in one pass — same stream, same values as the old
+    // per-sample scalar loop, but with the Box-Muller pairs laid
+    // out contiguously and the scale-and-exp sweep over a flat
+    // array.
+    const double mu = std::log(p99) - kZ99 * sampleSigma;
+    const double offered_qps = res.offeredLoad * cfg.saturationQps;
     const std::size_t n_samples = static_cast<std::size_t>(std::min(
         60.0, std::max(8.0, offered_qps * dt_s * 0.01)));
-    res.sampleUs.reserve(n_samples);
-    for (std::size_t i = 0; i < n_samples; ++i)
-        res.sampleUs.push_back(std::exp(mu + sigma * rng.normal()));
+    res.sampleUs.resize(n_samples);
+    rng.fillLognormal(res.sampleUs.data(), n_samples, mu, sampleSigma);
 }
 
 approx::PressureVector

@@ -138,6 +138,18 @@ class InteractiveService
     util::Rng rng;
     int coreCount;
     double backlogSec = 0.0;
+
+    /**
+     * Per-tick constants hoisted out of the sample loop (computed
+     * once in the constructor with the exact expressions the loop
+     * used inline, so every sampled value stays bit-identical):
+     * the lognormal sigma of the per-request latency samples, and
+     * the (mu, sd) pair behind the tick's measurement-noise factor
+     * lognormalMeanCv(1.0, 0.03).
+     */
+    double sampleSigma = 0.0;
+    double noiseMu = 0.0;
+    double noiseSd = 0.0;
 };
 
 } // namespace services

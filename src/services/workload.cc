@@ -20,8 +20,7 @@ WorkloadGenerator::tick(sim::Time dt)
     // Ornstein-Uhlenbeck step: dX = -theta X dt + sigma dW.
     const double theta = cfg.reversion;
     const double sigma = cfg.noiseSd * std::sqrt(2.0 * theta);
-    noise += -theta * noise * dt_s +
-             sigma * std::sqrt(dt_s) * rng.normal();
+    noise += -theta * noise * dt_s + sigma * std::sqrt(dt_s) * rng.normal();
     noise = std::clamp(noise, -3.0 * cfg.noiseSd, 3.0 * cfg.noiseSd);
 
     // Burst process.

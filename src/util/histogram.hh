@@ -32,8 +32,7 @@ class LogHistogram
     {
     }
 
-    void
-    add(double x)
+    void add(double x)
     {
         ++total;
         if (x < loBound) {
@@ -41,7 +40,13 @@ class LogHistogram
             return;
         }
         const double idx = std::log(x / loBound) / std::log(growth);
-        const std::size_t bucket = static_cast<std::size_t>(idx);
+        // x >= loBound here, but for x barely above loBound the
+        // quotient — and with it idx — can round to just below
+        // zero, and casting a negative double to size_t is
+        // undefined behavior. Clamp to bucket 0 before the cast
+        // (the value is in the first bucket either way).
+        const std::size_t bucket =
+            idx > 0.0 ? static_cast<std::size_t>(idx) : 0;
         if (bucket + 1 >= counts.size() - 1) {
             ++counts.back();
         } else {
@@ -50,8 +55,7 @@ class LogHistogram
     }
 
     /** Approximate quantile from bucket boundaries (q in [0,1]). */
-    double
-    quantile(double q) const
+    double quantile(double q) const
     {
         if (total == 0)
             return 0.0;
@@ -76,8 +80,7 @@ class LogHistogram
     const std::vector<std::size_t> &buckets() const { return counts; }
 
     /** Lower edge of regular bucket i (0-based, excluding under/over). */
-    double
-    bucketLo(std::size_t i) const
+    double bucketLo(std::size_t i) const
     {
         return loBound * std::pow(growth, static_cast<double>(i));
     }

@@ -10,8 +10,9 @@
 #ifndef PLIANT_UTIL_RNG_HH
 #define PLIANT_UTIL_RNG_HH
 
-#include <cstdint>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 
 namespace pliant {
 namespace util {
@@ -25,8 +26,7 @@ class SplitMix64
     explicit SplitMix64(std::uint64_t seed) : state(seed) {}
 
     /** Advance and return the next 64-bit value. */
-    std::uint64_t
-    next()
+    std::uint64_t next()
     {
         std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
         z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -43,6 +43,18 @@ class SplitMix64
  *
  * Satisfies UniformRandomBitGenerator so it can also be plugged into
  * <random> distributions where needed.
+ *
+ * Stream invariant: the normal-variate stream is *call-order
+ * dependent*. Box-Muller produces variates in pairs and normal()
+ * hands out the second ("spare") value of a pair on the next call
+ * without touching the underlying uniform stream; any interleaved
+ * uniform()/next() draw therefore lands at a different stream
+ * position depending on the spare's parity. Replaying a run requires
+ * replaying the exact call sequence — and normalBatch(dst, n) is
+ * guaranteed to consume the stream bit-identically to n scalar
+ * normal() calls (spare included), which is what lets hot loops
+ * batch their draws without changing a single sampled value (pinned
+ * by the stream-parity tests).
  */
 class Rng
 {
@@ -63,8 +75,7 @@ class Rng
     result_type operator()() { return next(); }
 
     /** Next raw 64-bit value. */
-    std::uint64_t
-    next()
+    std::uint64_t next()
     {
         const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
         const std::uint64_t t = s[1] << 17;
@@ -78,22 +89,19 @@ class Rng
     }
 
     /** Uniform double in [0, 1). */
-    double
-    uniform()
+    double uniform()
     {
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
     /** Uniform double in [lo, hi). */
-    double
-    uniform(double lo, double hi)
+    double uniform(double lo, double hi)
     {
         return lo + (hi - lo) * uniform();
     }
 
     /** Uniform integer in [0, n). Requires n > 0. */
-    std::uint64_t
-    uniformInt(std::uint64_t n)
+    std::uint64_t uniformInt(std::uint64_t n)
     {
         // Lemire's multiply-shift rejection method.
         std::uint64_t x = next();
@@ -114,8 +122,7 @@ class Rng
     bool coin(double p) { return uniform() < p; }
 
     /** Exponential variate with the given rate (mean 1/rate). */
-    double
-    exponential(double rate)
+    double exponential(double rate)
     {
         double u = uniform();
         // Guard against log(0).
@@ -124,35 +131,78 @@ class Rng
         return -std::log(u) / rate;
     }
 
-    /** Standard normal via Box-Muller (one value per call). */
-    double
-    normal()
+    /**
+     * Standard normal via Box-Muller (one value per call).
+     *
+     * See the class comment: the spare makes this stream call-order
+     * dependent, and normalBatch() is the only other consumer that
+     * preserves it.
+     */
+    double normal()
     {
         if (hasSpare) {
             hasSpare = false;
             return spare;
         }
-        double u1 = uniform();
-        if (u1 <= 0.0)
-            u1 = 0x1.0p-53;
-        const double u2 = uniform();
-        const double r = std::sqrt(-2.0 * std::log(u1));
-        const double theta = 6.283185307179586476925286766559 * u2;
-        spare = r * std::sin(theta);
+        double primary;
+        boxMullerPair(primary, spare);
         hasSpare = true;
-        return r * std::cos(theta);
+        return primary;
     }
 
     /** Normal variate with given mean and standard deviation. */
     double normal(double mean, double sd) { return mean + sd * normal(); }
 
     /**
-     * Lognormal variate parameterized by the desired mean and coefficient
-     * of variation of the *resulting* distribution (convenient for
-     * service-time modeling).
+     * Fill dst[0..n) with standard normal variates, consuming the
+     * underlying stream bit-identically to n scalar normal() calls:
+     * a pending Box-Muller spare is emitted first, pairs are drawn
+     * in scalar order, and an odd count leaves the trailing spare
+     * pending exactly as the scalar path would. The pair loop is a
+     * straight-line array fill, so hot paths can batch a tick's
+     * draws and let the compiler vectorize the surrounding
+     * arithmetic without perturbing any replayed stream.
      */
-    double
-    lognormalMeanCv(double mean, double cv)
+    void normalBatch(double *dst, std::size_t n)
+    {
+        std::size_t i = 0;
+        if (n == 0)
+            return;
+        if (hasSpare) {
+            hasSpare = false;
+            dst[i++] = spare;
+        }
+        while (n - i >= 2) {
+            boxMullerPair(dst[i], dst[i + 1]);
+            i += 2;
+        }
+        if (i < n) {
+            boxMullerPair(dst[i], spare);
+            hasSpare = true;
+        }
+    }
+
+    /**
+     * Fill dst[0..n) with exp(mu + sigma * z), z standard normal —
+     * the lognormal sample batch the interactive-service model draws
+     * every tick. Bit-identical to the scalar loop
+     * `dst[i] = exp(mu + sigma * normal())` (same stream, same
+     * arithmetic), but the normals land in dst in one pass so the
+     * scale-and-exp sweep runs over a contiguous array.
+     */
+    void fillLognormal(double *dst, std::size_t n, double mu, double sigma)
+    {
+        normalBatch(dst, n);
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = std::exp(mu + sigma * dst[i]);
+    }
+
+    /**
+     * Lognormal variate parameterized by the desired mean and
+     * coefficient of variation of the *resulting* distribution
+     * (convenient for service-time modeling).
+     */
+    double lognormalMeanCv(double mean, double cv)
     {
         const double sigma2 = std::log(1.0 + cv * cv);
         const double mu = std::log(mean) - 0.5 * sigma2;
@@ -160,17 +210,40 @@ class Rng
     }
 
     /** Fork an independent, deterministically-derived child stream. */
-    Rng
-    fork()
-    {
-        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
-    }
+    Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
   private:
-    static std::uint64_t
-    rotl(std::uint64_t x, int k)
+    static std::uint64_t rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /**
+     * One Box-Muller transform: `first` receives the cosine leg
+     * (what a fresh normal() call returns), `second` the sine leg
+     * (what becomes the spare). glibc's sincos() computes both legs
+     * through the same kernels as sin()/cos(), so the combined call
+     * is bit-identical to the two separate ones (pinned by the
+     * engine regression suites) while sharing the argument
+     * reduction.
+     */
+    void boxMullerPair(double &first, double &second)
+    {
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586476925286766559 * u2;
+#if defined(__GLIBC__)
+        double sin_leg, cos_leg;
+        ::sincos(theta, &sin_leg, &cos_leg);
+        first = r * cos_leg;
+        second = r * sin_leg;
+#else
+        first = r * std::cos(theta);
+        second = r * std::sin(theta);
+#endif
     }
 
     std::uint64_t s[4];

@@ -23,8 +23,7 @@ class RunningStats
 {
   public:
     /** Add one observation. */
-    void
-    add(double x)
+    void add(double x)
     {
         ++n;
         const double delta = x - meanVal;
@@ -36,8 +35,7 @@ class RunningStats
     }
 
     /** Merge another accumulator into this one (parallel-safe pattern). */
-    void
-    merge(const RunningStats &other)
+    void merge(const RunningStats &other)
     {
         if (other.n == 0)
             return;
@@ -49,9 +47,8 @@ class RunningStats
         const std::size_t total = n + other.n;
         meanVal += delta * static_cast<double>(other.n) /
                    static_cast<double>(total);
-        m2 += other.m2 + delta * delta *
-              static_cast<double>(n) * static_cast<double>(other.n) /
-              static_cast<double>(total);
+        m2 += other.m2 + delta * delta * static_cast<double>(n) *
+              static_cast<double>(other.n) / static_cast<double>(total);
         minVal = std::min(minVal, other.minVal);
         maxVal = std::max(maxVal, other.maxVal);
         sumVal += other.sumVal;
@@ -62,8 +59,7 @@ class RunningStats
     double mean() const { return n ? meanVal : 0.0; }
     double sum() const { return sumVal; }
 
-    double
-    variance() const
+    double variance() const
     {
         return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
     }
@@ -73,17 +69,12 @@ class RunningStats
     double max() const { return n ? maxVal : 0.0; }
 
     /** Coefficient of variation (0 when the mean is 0). */
-    double
-    cv() const
+    double cv() const
     {
         return meanVal != 0.0 ? stddev() / meanVal : 0.0;
     }
 
-    void
-    reset()
-    {
-        *this = RunningStats();
-    }
+    void reset() { *this = RunningStats(); }
 
   private:
     std::size_t n = 0;
@@ -95,20 +86,51 @@ class RunningStats
 };
 
 /**
+ * Percentile of an already-sorted sample via linear interpolation
+ * between closest ranks. @param p percentile in [0, 100]. Returns 0
+ * on an empty sample. Shared by PercentileWindow and the monitor's
+ * interval close, which sorts its window once and reads several
+ * percentiles off it.
+ */
+inline double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/**
  * Exact percentile computation over a retained sample vector.
  *
  * Used where windows are small (one decision interval of latency
  * samples); for unbounded streams use P2Quantile below.
+ *
+ * Percentile queries sort a cached copy once per window generation:
+ * any number of percentile()/p99()/p50() calls between adds reuse
+ * the same sorted array (the monitors read two percentiles per
+ * interval close), and the next add() invalidates it.
  */
 class PercentileWindow
 {
   public:
-    void add(double x) { samples.push_back(x); }
+    void add(double x)
+    {
+        samples.push_back(x);
+        sortedValid = false;
+    }
 
-    void
-    clear()
+    void clear()
     {
         samples.clear();
+        sorted.clear();
+        sortedValid = false;
     }
 
     std::size_t count() const { return samples.size(); }
@@ -118,28 +140,22 @@ class PercentileWindow
      * @param p percentile in [0, 100].
      * @return 0 when the window is empty.
      */
-    double
-    percentile(double p) const
+    double percentile(double p) const
     {
         if (samples.empty())
             return 0.0;
-        std::vector<double> sorted(samples);
-        std::sort(sorted.begin(), sorted.end());
-        if (sorted.size() == 1)
-            return sorted.front();
-        const double rank = (p / 100.0) *
-            static_cast<double>(sorted.size() - 1);
-        const std::size_t lo = static_cast<std::size_t>(rank);
-        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-        const double frac = rank - static_cast<double>(lo);
-        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+        if (!sortedValid) {
+            sorted = samples;
+            std::sort(sorted.begin(), sorted.end());
+            sortedValid = true;
+        }
+        return sortedPercentile(sorted, p);
     }
 
     double p99() const { return percentile(99.0); }
     double p50() const { return percentile(50.0); }
 
-    double
-    mean() const
+    double mean() const
     {
         if (samples.empty())
             return 0.0;
@@ -153,6 +169,9 @@ class PercentileWindow
 
   private:
     std::vector<double> samples;
+    /** Sort cache, rebuilt lazily after the window grows. */
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
 };
 
 /**
@@ -166,8 +185,7 @@ class P2Quantile
     explicit P2Quantile(double quantile) : q(quantile) {}
 
     /** Feed one observation. */
-    void
-    add(double x)
+    void add(double x)
     {
         if (count_ < 5) {
             heights[count_++] = x;
@@ -227,8 +245,7 @@ class P2Quantile
     }
 
     /** Current quantile estimate (exact for < 5 observations). */
-    double
-    value() const
+    double value() const
     {
         if (count_ == 0)
             return 0.0;
@@ -247,8 +264,7 @@ class P2Quantile
     std::size_t count() const { return count_; }
 
   private:
-    double
-    parabolic(int i, int sign) const
+    double parabolic(int i, int sign) const
     {
         const double d = static_cast<double>(sign);
         return heights[i] + d / (positions[i + 1] - positions[i - 1]) *
@@ -260,8 +276,7 @@ class P2Quantile
                  (positions[i] - positions[i - 1]));
     }
 
-    double
-    linear(int i, int sign) const
+    double linear(int i, int sign) const
     {
         return heights[i] + sign * (heights[i + sign] - heights[i]) /
             (positions[i + sign] - positions[i]);
@@ -285,8 +300,7 @@ class Reservoir
   public:
     explicit Reservoir(std::size_t capacity) : cap(capacity) {}
 
-    void
-    add(double x, RngType &rng)
+    void add(double x, RngType &rng)
     {
         ++seen;
         if (items.size() < cap) {
@@ -315,24 +329,16 @@ struct FiveNumber
 {
     double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
 
-    static FiveNumber
-    of(std::vector<double> v)
+    static FiveNumber of(std::vector<double> v)
     {
         FiveNumber f;
         if (v.empty())
             return f;
         std::sort(v.begin(), v.end());
-        auto at = [&](double p) {
-            const double rank = p * static_cast<double>(v.size() - 1);
-            const std::size_t lo = static_cast<std::size_t>(rank);
-            const std::size_t hi = std::min(lo + 1, v.size() - 1);
-            const double frac = rank - static_cast<double>(lo);
-            return v[lo] + frac * (v[hi] - v[lo]);
-        };
         f.min = v.front();
-        f.q1 = at(0.25);
-        f.median = at(0.5);
-        f.q3 = at(0.75);
+        f.q1 = sortedPercentile(v, 25.0);
+        f.median = sortedPercentile(v, 50.0);
+        f.q3 = sortedPercentile(v, 75.0);
         f.max = v.back();
         return f;
     }

@@ -92,10 +92,7 @@ fmtPct(double fraction, int precision)
 std::string
 sparkline(const std::vector<double> &series)
 {
-    static const char *levels[] = {
-        "▁", "▂", "▃", "▄",
-        "▅", "▆", "▇", "█"
-    };
+    static const char *levels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
     if (series.empty())
         return "";
     double lo = series.front(), hi = series.front();
@@ -106,9 +103,9 @@ sparkline(const std::vector<double> &series)
     std::string out;
     const double span = hi - lo;
     for (double v : series) {
-        int idx = span > 0
-            ? static_cast<int>((v - lo) / span * 7.999)
-            : 0;
+        int idx = 0;
+        if (span > 0)
+            idx = static_cast<int>((v - lo) / span * 7.999);
         out += levels[idx];
     }
     return out;

@@ -189,6 +189,82 @@ TEST(InteractiveServiceTest, CurrentQpsTracksLoad)
                 0.02 * cfg.saturationQps);
 }
 
+/**
+ * Byte-identity pin for the batched sample path. The expected doubles
+ * were captured from the pre-batching scalar implementation (per-draw
+ * normal() + exp in the tick loop); the SoA fillLognormal path and
+ * the hoisted per-tick constants must reproduce them bit-exactly.
+ * If an intentional model change breaks this, recapture the values
+ * and re-pin in the same PR.
+ */
+TEST(InteractiveServiceTest, SampleStreamMatchesPreBatchingScalars)
+{
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService svc(cfg, WorkloadConfig{}, 123);
+
+    struct Tick
+    {
+        double inflation;
+        double p99;
+        std::size_t n;
+        double s[7]; // samples at indices 0, 7, 14, ..., 42
+    };
+    const Tick expected[3] = {
+        {1.0, 126.50943737234813, 46,
+         {7.7409764469362008, 49.204209634471589, 7.3107385527010837,
+          3.967357352127606, 33.646506688260068, 12.069203133445717,
+          54.965078339860518}},
+        {1.37, 797.76024715837366, 47,
+         {47.603893517473693, 294.68614760255679, 91.785258564213038,
+          348.7295512269975, 206.38881619397364, 52.697675335095731,
+          200.60210583506671}},
+        {1.0, 129.08288654105073, 47,
+         {27.113841739181076, 29.032436329268499, 12.324372576945439,
+          36.77297860927748, 9.0985288924421663, 27.901941929419049,
+          45.649453526534785}},
+    };
+
+    for (int t = 0; t < 3; ++t) {
+        const auto r =
+            svc.tick(10 * sim::kMillisecond, expected[t].inflation);
+        EXPECT_EQ(r.p99Us, expected[t].p99) << "tick " << t;
+        ASSERT_EQ(r.sampleUs.size(), expected[t].n) << "tick " << t;
+        for (std::size_t i = 0; i * 7 < expected[t].n; ++i)
+            EXPECT_EQ(r.sampleUs[i * 7], expected[t].s[i])
+                << "tick " << t << " sample " << i * 7;
+    }
+
+    // A second service kind (different tailToMedian, so different
+    // hoisted sigma) pins the nginx path too.
+    InteractiveService ngx(defaultConfig(ServiceKind::Nginx),
+                           WorkloadConfig{}, 7);
+    const auto r2 = ngx.tick(10 * sim::kMillisecond, 1.1);
+    EXPECT_EQ(r2.p99Us, 10306.271691784248);
+    ASSERT_EQ(r2.sampleUs.size(), 55u);
+    EXPECT_EQ(r2.sampleUs.front(), 1675.0904486764409);
+    EXPECT_EQ(r2.sampleUs.back(), 2183.3716272580828);
+}
+
+TEST(InteractiveServiceTest, ReusedResultBufferMatchesFreshResult)
+{
+    // The allocation-free tick(dt, inflation, out) overload must
+    // produce the same values whether `out` is fresh or carries a
+    // larger stale sampleUs from a previous tick.
+    const ServiceConfig cfg = defaultConfig(ServiceKind::Memcached);
+    InteractiveService a(cfg, WorkloadConfig{}, 17);
+    InteractiveService b(cfg, WorkloadConfig{}, 17);
+    ServiceTickResult reused;
+    reused.sampleUs.assign(512, -1.0); // stale oversized buffer
+    for (int i = 0; i < 50; ++i) {
+        a.tick(10 * sim::kMillisecond, 1.05, reused);
+        const auto fresh = b.tick(10 * sim::kMillisecond, 1.05);
+        EXPECT_EQ(reused.p99Us, fresh.p99Us);
+        ASSERT_EQ(reused.sampleUs.size(), fresh.sampleUs.size());
+        for (std::size_t j = 0; j < fresh.sampleUs.size(); ++j)
+            EXPECT_EQ(reused.sampleUs[j], fresh.sampleUs[j]);
+    }
+}
+
 TEST(InteractiveServiceTest, DeterministicForSeed)
 {
     const ServiceConfig cfg = defaultConfig(ServiceKind::MongoDb);

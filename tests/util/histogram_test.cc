@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the log-bucketed histogram, with emphasis on the bucket
+ * boundary arithmetic: the index computation must stay well-defined
+ * (no negative-double-to-size_t cast) for values at and immediately
+ * around the first bucket edge.
+ */
+
+#include "util/histogram.hh"
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pliant::util::LogHistogram;
+
+std::size_t
+sumCounts(const LogHistogram &h)
+{
+    const auto &b = h.buckets();
+    return std::accumulate(b.begin(), b.end(), std::size_t{0});
+}
+
+TEST(LogHistogramTest, UnderflowGoesToFirstBucket)
+{
+    LogHistogram h(10.0, 2.0, 8);
+    h.add(0.5);
+    h.add(9.999999);
+    EXPECT_EQ(h.buckets().front(), 2u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LogHistogramTest, ExactLowerBoundLandsInBucketZero)
+{
+    // x == loBound gives log(x/lo) == log(1) == 0 exactly; the index
+    // must clamp to regular bucket 0, never underflow the cast.
+    LogHistogram h(10.0, 2.0, 8);
+    h.add(10.0);
+    EXPECT_EQ(h.buckets().front(), 0u); // not underflow
+    EXPECT_EQ(h.buckets()[1], 1u);      // regular bucket 0
+}
+
+TEST(LogHistogramTest, OneUlpAroundLowerBound)
+{
+    // One ULP below lo is underflow; at/above lo the quotient can
+    // round to slightly below 1.0 making the log index a tiny
+    // negative double — previously a negative-to-size_t cast (UB).
+    // Both sides must land in a defined bucket and conserve counts.
+    const double lo = 10.0;
+    LogHistogram h(lo, 2.0, 8);
+    const double below = std::nextafter(lo, 0.0);
+    const double above = std::nextafter(lo, 1e9);
+    h.add(below);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    h.add(above);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(sumCounts(h), 2u);
+}
+
+TEST(LogHistogramTest, AwkwardLowerBoundNearMisses)
+{
+    // A non-power-of-two lo makes x/lo inexact: for x one ULP above
+    // lo the quotient may round *below* 1.0 and the log index goes
+    // negative. The clamp must keep it in regular bucket 0.
+    for (const double lo : {3.0, 7.0, 0.1, 123.456}) {
+        LogHistogram h(lo, 1.5, 16);
+        h.add(std::nextafter(lo, 2.0 * lo));
+        h.add(lo);
+        EXPECT_EQ(h.buckets().front(), 0u) << "lo=" << lo;
+        EXPECT_EQ(h.buckets()[1], 2u) << "lo=" << lo;
+    }
+}
+
+TEST(LogHistogramTest, TopBucketEdgeAndOverflow)
+{
+    // 8 regular buckets over [10, 10*2^8): the last regular bucket
+    // starts at 10*2^7 = 1280; anything >= 2560 overflows.
+    LogHistogram h(10.0, 2.0, 8);
+    h.add(1280.0);                       // last regular bucket edge
+    h.add(std::nextafter(2560.0, 0.0));  // just under the top edge
+    h.add(2560.0);                       // first overflow value
+    h.add(1e12);                         // deep overflow
+    const auto &b = h.buckets();
+    // The edge values sit on inexact log boundaries, so assert the
+    // robust property: each lands in the last regular bucket or
+    // overflow, totals are conserved, and the clear overflows do
+    // overflow.
+    EXPECT_EQ(b[b.size() - 2] + b.back(), 4u);
+    EXPECT_GE(b.back(), 2u);
+    EXPECT_EQ(sumCounts(h), 4u);
+}
+
+TEST(LogHistogramTest, CountsAreConservedAcrossRange)
+{
+    LogHistogram h(1.0, 2.0, 10);
+    std::size_t added = 0;
+    for (double x = 1e-3; x < 1e5; x *= 1.37) {
+        h.add(x);
+        ++added;
+    }
+    EXPECT_EQ(h.count(), added);
+    EXPECT_EQ(sumCounts(h), added);
+}
+
+TEST(LogHistogramTest, QuantileOrderingIsMonotone)
+{
+    LogHistogram h(1.0, 2.0, 16);
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    const double q50 = h.quantile(0.5);
+    const double q90 = h.quantile(0.9);
+    const double q99 = h.quantile(0.99);
+    EXPECT_LE(q50, q90);
+    EXPECT_LE(q90, q99);
+    // Log-bucket midpoints are coarse, but the median of 1..1000
+    // must land within its bucket's factor-of-2 resolution.
+    EXPECT_GT(q50, 250.0);
+    EXPECT_LT(q50, 1000.0);
+}
+
+} // namespace

@@ -149,6 +149,61 @@ TEST(RngTest, LognormalIsPositive)
         EXPECT_GT(rng.lognormalMeanCv(1.0, 1.0), 0.0);
 }
 
+TEST(RngTest, NormalBatchMatchesScalarStream)
+{
+    // The batch API must consume the exact same Xoshiro stream as n
+    // scalar normal() calls: same values, same order, bit-identical.
+    Rng scalar(91), batch(91);
+    std::vector<double> got(64);
+    batch.normalBatch(got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], scalar.normal()) << "index " << i;
+    // The streams must remain aligned afterwards.
+    EXPECT_EQ(batch.next(), scalar.next());
+}
+
+TEST(RngTest, NormalBatchOddSizePreservesSpare)
+{
+    // An odd-length batch leaves the Box-Muller spare cached, just
+    // like an odd number of scalar calls would. Interleave uniform()
+    // draws to prove the spare survives unrelated stream use.
+    Rng scalar(93), batch(93);
+    std::vector<double> got(7);
+    batch.normalBatch(got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], scalar.normal());
+    EXPECT_EQ(batch.uniform(), scalar.uniform());
+    // Next normal on each side must be the cached spare.
+    EXPECT_EQ(batch.normal(), scalar.normal());
+    // And a second odd batch starting from a spare-loaded state.
+    std::vector<double> more(5);
+    batch.normalBatch(more.data(), more.size());
+    for (std::size_t i = 0; i < more.size(); ++i)
+        EXPECT_EQ(more[i], scalar.normal());
+    EXPECT_EQ(batch.next(), scalar.next());
+}
+
+TEST(RngTest, NormalBatchZeroLengthIsNoOp)
+{
+    Rng a(95), b(95);
+    a.normalBatch(nullptr, 0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, FillLognormalMatchesScalarLognormal)
+{
+    // fillLognormal(mu, sigma) must equal exp(mu + sigma * z) over
+    // the same normal stream, including across odd/even boundaries.
+    const double mu = 1.7, sigma = 0.42;
+    Rng scalar(97), batch(97);
+    std::vector<double> got(33);
+    batch.fillLognormal(got.data(), got.size(), mu, sigma);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], std::exp(mu + sigma * scalar.normal()));
+    EXPECT_EQ(batch.normal(), scalar.normal());
+}
+
 TEST(RngTest, ForkProducesIndependentStream)
 {
     Rng parent(41);

@@ -81,6 +81,73 @@ TEST(RunningStatsTest, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(RunningStatsTest, MergeIsAssociative)
+{
+    // (a + b) + c vs a + (b + c) over shards of one stream: the
+    // count/min/max/sum are exactly equal and the Chan-style
+    // mean/m2 combination agrees to tight tolerance.
+    Rng rng(7);
+    RunningStats a, b, c;
+    for (int i = 0; i < 900; ++i) {
+        const double x = rng.lognormalMeanCv(50.0, 1.2);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+    }
+    RunningStats left_first = a;
+    left_first.merge(b);
+    left_first.merge(c);
+    RunningStats right_first_bc = b;
+    right_first_bc.merge(c);
+    RunningStats right_first = a;
+    right_first.merge(right_first_bc);
+    EXPECT_EQ(left_first.count(), right_first.count());
+    EXPECT_DOUBLE_EQ(left_first.min(), right_first.min());
+    EXPECT_DOUBLE_EQ(left_first.max(), right_first.max());
+    EXPECT_NEAR(left_first.mean(), right_first.mean(),
+                1e-12 * std::abs(left_first.mean()));
+    EXPECT_NEAR(left_first.variance(), right_first.variance(),
+                1e-9 * left_first.variance());
+}
+
+TEST(RunningStatsTest, ManyShardMergeEqualsSequential)
+{
+    // The driver merges one accumulator per worker thread; the
+    // result must match a single sequential accumulator regardless
+    // of shard count.
+    Rng rng(13);
+    RunningStats whole;
+    std::vector<RunningStats> shards(8);
+    for (int i = 0; i < 4000; ++i) {
+        const double x = rng.normal(200.0, 35.0);
+        whole.add(x);
+        shards[static_cast<std::size_t>(i) % shards.size()].add(x);
+    }
+    RunningStats merged;
+    for (const RunningStats &s : shards)
+        merged.merge(s);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.mean(), whole.mean(),
+                1e-12 * std::abs(whole.mean()));
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-9 * whole.variance());
+}
+
+TEST(RunningStatsTest, MergeOneSidedAndSelfEmpty)
+{
+    RunningStats empty_both, a;
+    empty_both.merge(RunningStats{});
+    EXPECT_EQ(empty_both.count(), 0u);
+    EXPECT_EQ(empty_both.mean(), 0.0);
+    a.add(3.0);
+    RunningStats into_empty;
+    into_empty.merge(a);
+    EXPECT_EQ(into_empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(into_empty.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(into_empty.min(), 3.0);
+    EXPECT_DOUBLE_EQ(into_empty.max(), 3.0);
+}
+
 TEST(RunningStatsTest, CvOfConstantIsZero)
 {
     RunningStats s;
@@ -134,6 +201,60 @@ TEST(PercentileWindowTest, OrderIndependent)
     EXPECT_DOUBLE_EQ(asc.p99(), desc.p99());
 }
 
+TEST(PercentileWindowTest, CachedSortSurvivesInterleavedQueries)
+{
+    // The sorted cache is rebuilt lazily after each add(); repeated
+    // and interleaved percentile queries must always reflect the
+    // full current window, not a stale generation.
+    PercentileWindow cached;
+    std::vector<double> mirror;
+    Rng rng(55);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.lognormalMeanCv(10.0, 0.7);
+        cached.add(x);
+        mirror.push_back(x);
+        if (i % 7 == 0 || i % 11 == 0) {
+            std::vector<double> sorted = mirror;
+            std::sort(sorted.begin(), sorted.end());
+            EXPECT_DOUBLE_EQ(
+                cached.p99(),
+                pliant::util::sortedPercentile(sorted, 99.0));
+            EXPECT_DOUBLE_EQ(
+                cached.p50(),
+                pliant::util::sortedPercentile(sorted, 50.0));
+            // Second read of the same generation hits the cache and
+            // must return the identical value.
+            EXPECT_DOUBLE_EQ(
+                cached.p99(),
+                pliant::util::sortedPercentile(sorted, 99.0));
+        }
+    }
+}
+
+TEST(PercentileWindowTest, ClearResetsCache)
+{
+    PercentileWindow w;
+    w.add(100.0);
+    w.add(200.0);
+    EXPECT_DOUBLE_EQ(w.p50(), 150.0); // populate the cache
+    w.clear();
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_EQ(w.percentile(50.0), 0.0);
+    w.add(7.0);
+    EXPECT_DOUBLE_EQ(w.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(w.p99(), 7.0);
+}
+
+TEST(SortedPercentileTest, MatchesWindowOnSortedInput)
+{
+    std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(pliant::util::sortedPercentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(pliant::util::sortedPercentile(v, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(pliant::util::sortedPercentile(v, 100.0), 40.0);
+    EXPECT_EQ(pliant::util::sortedPercentile({}, 99.0), 0.0);
+    EXPECT_DOUBLE_EQ(pliant::util::sortedPercentile({5.0}, 37.0), 5.0);
+}
+
 TEST(P2QuantileTest, ExactBelowFiveSamples)
 {
     P2Quantile q(0.5);
@@ -173,6 +294,23 @@ TEST_P(P2AccuracyTest, TracksExactOnLognormal)
 
 INSTANTIATE_TEST_SUITE_P(Quantiles, P2AccuracyTest,
                          ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(P2AccuracyHeavyTailTest, TracksExactOnHeavyLognormal)
+{
+    // A heavier tail (cv = 2.0, the flash-crowd latency regime)
+    // stresses the marker-adjustment path much harder than the
+    // cv = 0.8 sweep above; the p99 estimate should still land
+    // within ~15% of the exact window.
+    Rng rng(107);
+    P2Quantile est(0.99);
+    PercentileWindow exact;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.lognormalMeanCv(250.0, 2.0);
+        est.add(x);
+        exact.add(x);
+    }
+    EXPECT_NEAR(est.value() / exact.p99(), 1.0, 0.15);
+}
 
 TEST(ReservoirTest, KeepsAllWhenUnderCapacity)
 {
