@@ -16,18 +16,34 @@
  * byte-identical (see the regression suites) while moving wall time;
  * this harness only measures, it does not validate.
  *
+ * Two optional axes replay every config under the new speed knobs,
+ * in the same process so the speedup column compares like with like:
+ *
+ *   --threads 1,4     engine tick-team widths to measure. Entries
+ *                     beyond 1 are named <config>@t<N> and carry
+ *                     speedup_vs_1t against the same run's 1-lane
+ *                     measurement. Output is byte-identical at any
+ *                     width, so these rows move wall time only.
+ *   --fast-sampling   adds a <config>@fast row per config (1 lane,
+ *                     quantile-table samplers). NOT byte-identical —
+ *                     excluded from every golden; tracked here purely
+ *                     as a wall-clock point.
+ *
  * Usage: perf_tick [--quick] [--reps N] [--out FILE]
+ *                  [--threads T1,T2,...] [--fast-sampling]
  *   --quick   one repetition per config (CI smoke; timings noisy)
  *   --reps N  repetitions per config (default 3); best-of-N is
  *             reported to damp scheduler noise
  *   --out F   JSON output path (default BENCH_tick.json)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,12 +65,26 @@ struct Measurement
     double wallSeconds = 0.0;
     std::uint64_t ticks = 0;
 
+    unsigned engineThreads = 1;
+    bool fastSampling = false;
+
+    /** 1-lane wall time from the same invocation (0 = is baseline). */
+    double baselineWallSeconds = 0.0;
+
     double
     ticksPerSec() const
     {
         return wallSeconds > 0.0
             ? static_cast<double>(ticks) / wallSeconds
             : 0.0;
+    }
+
+    double
+    speedupVsBaseline() const
+    {
+        return baselineWallSeconds > 0.0 && wallSeconds > 0.0
+            ? baselineWallSeconds / wallSeconds
+            : 1.0;
     }
 };
 
@@ -78,6 +108,8 @@ runEngineSet(const std::string &name, const std::string &description,
     Measurement m;
     m.name = name;
     m.description = description;
+    m.engineThreads = cfg.engineThreads;
+    m.fastSampling = cfg.fastSampling;
     for (int r = 0; r < reps; ++r) {
         colo::Engine engine(cfg);
         const double t0 = now();
@@ -102,6 +134,8 @@ runClusterSet(const std::string &name,
     Measurement m;
     m.name = name;
     m.description = description;
+    m.engineThreads = cfg.engineThreads;
+    m.fastSampling = cfg.fastSampling;
     const std::uint64_t ticks =
         static_cast<std::uint64_t>(cfg.nodes.size()) *
         static_cast<std::uint64_t>(cfg.maxDuration / cfg.tick);
@@ -219,12 +253,47 @@ writeJson(const std::string &path,
         out << "    {\n"
             << "      \"name\": \"" << m.name << "\",\n"
             << "      \"description\": \"" << m.description << "\",\n"
+            << "      \"engine_threads\": " << m.engineThreads << ",\n"
+            << "      \"fast_sampling\": "
+            << (m.fastSampling ? "true" : "false") << ",\n"
+            << "      \"speedup_vs_1t\": " << m.speedupVsBaseline()
+            << ",\n"
             << "      \"wall_s\": " << m.wallSeconds << ",\n"
             << "      \"ticks\": " << m.ticks << ",\n"
             << "      \"ticks_per_sec\": " << m.ticksPerSec() << "\n"
             << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+}
+
+/** Parse "1,4,8" into a thread axis: deduped, 1 forced first. */
+std::vector<unsigned>
+parseThreadAxis(const std::string &arg)
+{
+    std::vector<unsigned> axis;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            axis.push_back(
+                static_cast<unsigned>(std::stoul(item)));
+    std::sort(axis.begin(), axis.end());
+    axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+    // The baseline row every speedup compares against must exist.
+    if (axis.empty() || axis.front() != 1)
+        axis.insert(axis.begin(), 1U);
+    return axis;
+}
+
+std::string
+axisName(const std::string &base, unsigned threads, bool fast)
+{
+    std::string name = base;
+    if (threads > 1)
+        name += "@t" + std::to_string(threads);
+    if (fast)
+        name += "@fast";
+    return name;
 }
 
 } // namespace
@@ -234,6 +303,8 @@ main(int argc, char **argv)
 {
     int reps = 3;
     std::string out_path = "BENCH_tick.json";
+    std::vector<unsigned> thread_axis = {1};
+    bool fast_axis = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -242,9 +313,14 @@ main(int argc, char **argv)
             reps = std::max(1, std::atoi(argv[++i]));
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            thread_axis = parseThreadAxis(argv[++i]);
+        } else if (arg == "--fast-sampling") {
+            fast_axis = true;
         } else {
             std::cerr << "usage: perf_tick [--quick] [--reps N] "
-                         "[--out FILE]\n";
+                         "[--out FILE] [--threads T1,T2,...] "
+                         "[--fast-sampling]\n";
             return 2;
         }
     }
@@ -253,29 +329,89 @@ main(int argc, char **argv)
               << reps << " rep" << (reps > 1 ? "s" : "")
               << ", best-of) ===\n\n";
 
-    std::vector<Measurement> results;
-    results.push_back(runEngineSet(
-        "fig5_single_service",
-        "memcached + canneal, Pliant, seed 31 (fig5 cell)",
-        fig5Config(), reps));
-    results.push_back(runEngineSet(
-        "flash_crowd_8_services",
-        "8 tenants (2 flash-crowded) + 2 apps, Pliant, 120 s",
-        flashCrowd8Config(), reps));
-    results.push_back(runEngineSet(
-        "admission_qos_shed",
-        "2 tenants, QosShed + adaptive batching, flash 1.15, 120 s",
-        admissionConfig(), reps));
-    results.push_back(runClusterSet(
-        "cluster_3_node",
-        "3 nodes x (memcached + nginx) + 6 apps, QoS-aware, 90 s",
-        cluster3Config(), reps));
+    struct EngineBench
+    {
+        std::string name;
+        std::string description;
+        colo::ColoConfig cfg;
+    };
+    const std::vector<EngineBench> engine_benches = {
+        {"fig5_single_service",
+         "memcached + canneal, Pliant, seed 31 (fig5 cell)",
+         fig5Config()},
+        {"flash_crowd_8_services",
+         "8 tenants (2 flash-crowded) + 2 apps, Pliant, 120 s",
+         flashCrowd8Config()},
+        {"admission_qos_shed",
+         "2 tenants, QosShed + adaptive batching, flash 1.15, 120 s",
+         admissionConfig()},
+    };
+    const cluster::ClusterConfig cluster_base = cluster3Config();
 
-    util::TextTable t({"config", "wall s", "ticks", "ticks/s"});
+    std::vector<Measurement> results;
+    for (const EngineBench &b : engine_benches) {
+        double baseline = 0.0;
+        for (unsigned t : thread_axis) {
+            colo::ColoConfig cfg = b.cfg;
+            cfg.engineThreads = t;
+            Measurement m =
+                runEngineSet(axisName(b.name, t, false),
+                             b.description, cfg, reps);
+            if (t == 1)
+                baseline = m.wallSeconds;
+            else
+                m.baselineWallSeconds = baseline;
+            results.push_back(std::move(m));
+        }
+        if (fast_axis) {
+            colo::ColoConfig cfg = b.cfg;
+            cfg.fastSampling = true;
+            Measurement m =
+                runEngineSet(axisName(b.name, 1, true),
+                             b.description, cfg, reps);
+            m.baselineWallSeconds = baseline;
+            results.push_back(std::move(m));
+        }
+    }
+    {
+        double baseline = 0.0;
+        for (unsigned t : thread_axis) {
+            cluster::ClusterConfig cfg = cluster_base;
+            cfg.engineThreads = t;
+            Measurement m = runClusterSet(
+                axisName("cluster_3_node", t, false),
+                "3 nodes x (memcached + nginx) + 6 apps, QoS-aware, "
+                "90 s",
+                cfg, reps);
+            if (t == 1)
+                baseline = m.wallSeconds;
+            else
+                m.baselineWallSeconds = baseline;
+            results.push_back(std::move(m));
+        }
+        if (fast_axis) {
+            cluster::ClusterConfig cfg = cluster_base;
+            cfg.fastSampling = true;
+            Measurement m = runClusterSet(
+                axisName("cluster_3_node", 1, true),
+                "3 nodes x (memcached + nginx) + 6 apps, QoS-aware, "
+                "90 s",
+                cfg, reps);
+            m.baselineWallSeconds = baseline;
+            results.push_back(std::move(m));
+        }
+    }
+
+    util::TextTable t(
+        {"config", "lanes", "wall s", "ticks", "ticks/s", "vs 1t"});
     for (const Measurement &m : results)
-        t.addRow({m.name, util::fmt(m.wallSeconds, 3),
+        t.addRow({m.name, std::to_string(m.engineThreads),
+                  util::fmt(m.wallSeconds, 3),
                   std::to_string(m.ticks),
-                  util::fmt(m.ticksPerSec() / 1e3, 1) + "k"});
+                  util::fmt(m.ticksPerSec() / 1e3, 1) + "k",
+                  m.baselineWallSeconds > 0.0
+                      ? util::fmt(m.speedupVsBaseline(), 2) + "x"
+                      : "-"});
     t.print(std::cout);
 
     writeJson(out_path, results, reps);

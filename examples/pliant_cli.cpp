@@ -11,6 +11,7 @@
  *              [--runtime precise|pliant|learned]
  *              [--learned-scalar]
  *              [--load 0.78] [--interval-s 1.0] [--seed 1]
+ *              [--engine-threads N] [--fast-sampling]
  *              [--cache-partitioning] [--csv timeline|summary]
  *              [--nodes N] [--placement static|least-loaded|qos-aware]
  *              [--epoch-s 5.0]
@@ -29,6 +30,11 @@
  * --nodes N > 1 runs a cluster: every node hosts the service list,
  * and --placement decides where the apps land (and, for qos-aware,
  * whether they migrate at --epoch-s boundaries).
+ * --engine-threads N parallelizes the per-tick tenant phase inside
+ * every engine (byte-identical output at any N); --fast-sampling
+ * switches the latency samplers to the quantile-table path, which is
+ * faster but NOT byte-identical — never use it when diffing against
+ * pinned output.
  * --admission / --batching enable the request-level admission
  * front-end on every tenant: queueing delay composes into the
  * monitored tails, shed/batch counters appear in the tables and CSV
@@ -64,6 +70,7 @@ usage(const char *argv0)
            " [--apps a,b,...] [--runtime precise|pliant|learned]"
            " [--learned-scalar]"
            " [--load F] [--interval-s S] [--seed N]"
+           " [--engine-threads N] [--fast-sampling]"
            " [--cache-partitioning] [--csv timeline|summary]"
            " [--nodes N] [--placement static|least-loaded|qos-aware]"
            " [--epoch-s S]"
@@ -226,6 +233,11 @@ main(int argc, char **argv)
             cfg.decisionInterval = sim::fromSeconds(std::stod(next()));
         } else if (arg == "--seed") {
             cfg.seed = std::stoull(next());
+        } else if (arg == "--engine-threads") {
+            cfg.engineThreads =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--fast-sampling") {
+            cfg.fastSampling = true;
         } else if (arg == "--cache-partitioning") {
             cfg.enableCachePartitioning = true;
         } else if (arg == "--nodes") {
@@ -300,6 +312,8 @@ main(int argc, char **argv)
                 .cachePartitioning(cfg.enableCachePartitioning)
                 .placement(placement)
                 .epoch(epoch)
+                .engineThreads(cfg.engineThreads)
+                .fastSampling(cfg.fastSampling)
                 .seed(cfg.seed);
             if (cfg.admission.enabled)
                 builder.admission(cfg.admission);

@@ -116,6 +116,8 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         nc.maxDuration = cfg.maxDuration;
         nc.enableCachePartitioning = cfg.enableCachePartitioning;
         nc.admission = cfg.admission;
+        nc.engineThreads = cfg.engineThreads;
+        nc.fastSampling = cfg.fastSampling;
         nc.seed = nodeSeed(cfg.seed, i);
         for (std::size_t a = 0; a < cfg.apps.size(); ++a) {
             if (assignment[a] != i)
@@ -538,6 +540,20 @@ ClusterConfigBuilder &
 ClusterConfigBuilder::threads(unsigned threads)
 {
     cfg.threads = threads;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::engineThreads(unsigned lanes)
+{
+    cfg.engineThreads = lanes;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::fastSampling(bool enable)
+{
+    cfg.fastSampling = enable;
     return *this;
 }
 

@@ -97,6 +97,21 @@ struct ClusterConfig
 
     /** Worker threads for node execution; 0 = Pool default. */
     unsigned threads = 0;
+
+    /**
+     * Per-engine tick-team lanes on every node (see
+     * colo::ColoConfig::engineThreads). Byte-identity-neutral;
+     * composes multiplicatively with `threads`, so large clusters
+     * usually want one of the two knobs, not both.
+     */
+    unsigned engineThreads = 1;
+
+    /**
+     * Table-driven samplers on every node (see
+     * colo::ColoConfig::fastSampling). NOT byte-identical; keep off
+     * for golden-pinned runs.
+     */
+    bool fastSampling = false;
 };
 
 /**
@@ -226,6 +241,12 @@ class ClusterConfigBuilder
     ClusterConfigBuilder &cachePartitioning(bool enable = true);
     ClusterConfigBuilder &seed(std::uint64_t seed);
     ClusterConfigBuilder &threads(unsigned threads);
+
+    /** Per-engine tick-team lanes on every node (default 1). */
+    ClusterConfigBuilder &engineThreads(unsigned lanes);
+
+    /** Table-driven samplers on every node (NOT byte-identical). */
+    ClusterConfigBuilder &fastSampling(bool enable = true);
 
     /** Validate and return the config (throws util::FatalError). */
     ClusterConfig build() const;

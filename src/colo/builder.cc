@@ -119,6 +119,20 @@ ConfigBuilder::cachePartitioning(bool enable)
 }
 
 ConfigBuilder &
+ConfigBuilder::engineThreads(unsigned lanes)
+{
+    cfg.engineThreads = lanes;
+    return *this;
+}
+
+ConfigBuilder &
+ConfigBuilder::fastSampling(bool enable)
+{
+    cfg.fastSampling = enable;
+    return *this;
+}
+
+ConfigBuilder &
 ConfigBuilder::admission(pliant::admission::AdmissionConfig admission_cfg)
 {
     cfg.admission = std::move(admission_cfg);

@@ -76,6 +76,18 @@ class ConfigBuilder
     ConfigBuilder &cachePartitioning(bool enable = true);
 
     /**
+     * Tick-team lanes for the per-tenant phase (default 1 = inline).
+     * Byte-identity-neutral: purely a wall-clock knob.
+     */
+    ConfigBuilder &engineThreads(unsigned lanes);
+
+    /**
+     * Table-driven samplers (NOT byte-identical; keep off for
+     * golden-pinned runs).
+     */
+    ConfigBuilder &fastSampling(bool enable = true);
+
+    /**
      * Enable the admission front-end with the given (possibly
      * customized) config; build() validates its fields. (Types are
      * spelled via pliant:: because the method name `admission`

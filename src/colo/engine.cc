@@ -236,6 +236,9 @@ validateConfig(const ColoConfig &cfg)
                     sim::toSeconds(cfg.tick), " s)");
     if (cfg.maxDuration <= 0)
         util::fatal("max duration must be positive");
+    if (cfg.engineThreads < 1 || cfg.engineThreads > 512)
+        util::fatal("engineThreads must be in 1..512, got ",
+                    cfg.engineThreads);
 
     // Admission fields are validated only when the front-end is
     // enabled: a disabled config is inert whatever its fields hold,
@@ -285,6 +288,7 @@ Engine::Engine(ColoConfig config)
             services::defaultConfig(t.spec.kind);
         scfg.name = t.spec.resolvedName();
         scfg.fairCores = t.fairCores;
+        scfg.fastSampling = cfg.fastSampling;
         services::WorkloadConfig wl;
         wl.loadFraction = t.spec.scenario.loadAt(0);
         t.service = std::make_unique<services::InteractiveService>(
@@ -347,9 +351,18 @@ Engine::Engine(ColoConfig config)
     // harness's profile.
     taskPressure.resize(tasks.size());
     svcPressure.resize(tenants.size());
-    peerPressure.reserve(tenants.size());
     inflationBuf.assign(tenants.size(), 1.0);
     reports.resize(tenants.size());
+
+    // The per-tick tenant team (width 1 = inline, no threads) and
+    // one scratch arena per lane, sized so a tenant's peer-pressure
+    // array always fits the bump block.
+    team = std::make_unique<TickTeam>(cfg.engineThreads);
+    const std::size_t peer_bytes =
+        tenants.size() * sizeof(approx::PressureVector);
+    laneScratch.reserve(team->width());
+    for (unsigned w = 0; w < team->width(); ++w)
+        laneScratch.emplace_back(std::max<std::size_t>(peer_bytes, 64));
     // Tenant names are fixed for the run; the per-interval fields of
     // each report are overwritten at every interval close.
     for (std::size_t s = 0; s < tenants.size(); ++s)
@@ -455,48 +468,60 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                 ten.service->setBaseLoad(ten.rawLoad);
         }
 
-        // 1. Gather pressures and compute the inflation each service
-        //    experiences this tick. A service's co-runners are every
-        //    approximate task plus every *other* service.
+        // 1. Sequential prelude: freeze every co-runner pressure
+        //    vector. The gather must complete before any tenant's
+        //    inflation (a service's co-runners are every approximate
+        //    task plus every *other* service), and it must see the
+        //    base loads phase 0 just set — after it, the buffers are
+        //    read-only for the rest of the tick.
         for (std::size_t i = 0; i < tasks.size(); ++i)
             taskPressure[i] = tasks[i].currentPressure();
         for (std::size_t s = 0; s < tenants.size(); ++s)
             svcPressure[s] = tenants[s].service->currentPressure();
-        for (std::size_t s = 0; s < tenants.size(); ++s) {
-            peerPressure.clear();
+
+        // 2. Per-tenant phase, fanned out across the tick team
+        //    (inline at the default width of 1). For each tenant:
+        //    contention -> inflation, the admission front-end
+        //    (dispatched load capped at the capacity estimate
+        //    (cores / fair cores) / inflation, overload piling up in
+        //    the explicit queue), the service tick, and the
+        //    monitoring side (end-to-end latency = queue+batch wait
+        //    at the front door plus the interference-inflated
+        //    service time). Every mutation is tenant-private — the
+        //    shared pressures are frozen and the partition only
+        //    moves at interval closes — and each tenant's operation
+        //    sequence is exactly the old sequential one, so the
+        //    results are byte-identical at any team width. The
+        //    peer-pressure array comes from the lane's bump arena:
+        //    after warmup the whole phase is heap-allocation-free.
+        team->run(tenants.size(), [&](std::size_t s, unsigned lane) {
+            auto &ten = tenants[s];
+            util::Arena &arena = laneScratch[lane];
+            arena.reset();
+            const std::size_t n_peers = tenants.size() - 1;
+            approx::PressureVector *peers =
+                arena.allocateArray<approx::PressureVector>(n_peers);
+            std::size_t k = 0;
             for (std::size_t o = 0; o < tenants.size(); ++o)
                 if (o != s)
-                    peerPressure.push_back(svcPressure[o]);
+                    peers[k++] = svcPressure[o];
             const auto contention = interference.contentionMulti(
-                svcPressure[s], peerPressure, taskPressure, partition);
+                svcPressure[s], peers, n_peers, taskPressure.data(),
+                taskPressure.size(), partition);
             inflationBuf[s] = interference.inflation(
-                contention, tenants[s].service->config().sensitivity);
-        }
+                contention, ten.service->config().sensitivity);
 
-        // 1.5 Admission front-end: turn scenario arrivals into the
-        //     dispatched load each service actually serves, capped
-        //     at the service's current capacity estimate
-        //     ((cores / fair cores) / inflation) so overload piles
-        //     up in the explicit queue where the policies can shed
-        //     or batch it.
-        for (std::size_t s = 0; s < tenants.size(); ++s) {
-            auto &ten = tenants[s];
-            if (!ten.admission)
-                continue;
-            const double capacity =
-                static_cast<double>(ten.service->cores()) /
-                static_cast<double>(ten.fairCores) / inflationBuf[s];
-            ten.admOut =
-                ten.admission->tick(ten.rawLoad, capacity, cfg.tick);
-            ten.service->setBaseLoad(ten.admOut.dispatchedLoad);
-        }
+            if (ten.admission) {
+                const double capacity =
+                    static_cast<double>(ten.service->cores()) /
+                    static_cast<double>(ten.fairCores) /
+                    inflationBuf[s];
+                ten.admOut = ten.admission->tick(ten.rawLoad,
+                                                 capacity, cfg.tick);
+                ten.service->setBaseLoad(ten.admOut.dispatchedLoad);
+            }
 
-        // 2. Advance the services and the approximate tasks.
-        for (std::size_t s = 0; s < tenants.size(); ++s) {
-            auto &ten = tenants[s];
             ten.service->tick(cfg.tick, inflationBuf[s], ten.tickBuf);
-            // End-to-end latency = queue+batch wait at the front
-            // door plus the (interference-inflated) service time.
             if (ten.admission)
                 for (double &sample : ten.tickBuf.sampleUs)
                     sample += ten.admOut.queueDelayUs;
@@ -506,7 +531,8 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                     ten.steady.add(sample);
             }
             ten.lastLoad = ten.tickBuf.offeredLoad;
-        }
+        });
+
         for (auto &t : tasks)
             t.tick(cfg.tick);
 

@@ -26,6 +26,7 @@
 #include "admission/admission.hh"
 #include "approx/task.hh"
 #include "colo/scenario.hh"
+#include "colo/tick_team.hh"
 #include "core/actuator.hh"
 #include "core/monitor.hh"
 #include "core/runtime.hh"
@@ -35,6 +36,7 @@
 #include "server/spec.hh"
 #include "services/interactive.hh"
 #include "sim/clock.hh"
+#include "util/arena.hh"
 #include "util/stats.hh"
 
 namespace pliant {
@@ -146,6 +148,25 @@ struct ColoConfig
      * is touched; pinned by regression tests).
      */
     admission::AdmissionConfig admission;
+
+    /**
+     * Worker lanes for the per-tick tenant phase (TickTeam). The
+     * engine's results are byte-identical at ANY value (static
+     * tiling, per-tenant state only — the driver::Sweep contract
+     * applied inside one experiment), so this is purely a wall-clock
+     * knob for many-tenant configs; it defaults to 1, which spawns
+     * no threads and adds no synchronization. Validated to 1..512.
+     */
+    unsigned engineThreads = 1;
+
+    /**
+     * Opt into the table-driven samplers (Rng::fillLognormalFast)
+     * for every interactive tenant. Statistically equivalent but
+     * deliberately NOT byte-identical to the exact Box-Muller
+     * stream, so golden-pinned runs must leave it off; the KS and
+     * moment tests pin its distributional accuracy instead.
+     */
+    bool fastSampling = false;
 };
 
 /** One service's slice of a sampled timeline point. */
@@ -467,9 +488,19 @@ class Engine
     /** Hot-loop buffers, allocated once (see run loop comment). */
     std::vector<approx::PressureVector> taskPressure;
     std::vector<approx::PressureVector> svcPressure;
-    std::vector<approx::PressureVector> peerPressure;
     std::vector<double> inflationBuf;
     std::vector<core::ServiceReport> reports;
+    /**
+     * Worker team for the per-tick tenant phase
+     * (cfg.engineThreads lanes; width 1 runs inline).
+     */
+    std::unique_ptr<TickTeam> team;
+    /**
+     * Per-lane bump arenas holding each tenant's peer-pressure
+     * array; reset per tenant, so a warmed-up tick loop performs
+     * zero heap allocations (pinned by the parallel-tick tests).
+     */
+    std::vector<util::Arena> laneScratch;
     /** Partially-built result: identity fields + growing timeline. */
     ColoResult partial;
 };

@@ -1,0 +1,135 @@
+#include "colo/tick_team.hh"
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace colo {
+
+namespace {
+
+/**
+ * Spin budget before parking on the futex. A tick's parallel region
+ * is tens of microseconds, so a short spin usually catches the next
+ * generation without a syscall; on oversubscribed boxes (or the
+ * 1-core CI container) the early yield hands the core to whichever
+ * lane holds the work.
+ */
+constexpr int kSpinIters = 256;
+constexpr int kYieldIters = 64;
+
+} // namespace
+
+template <typename Word, typename Pred>
+void
+TickTeam::spinThenWait(std::atomic<Word> &word, Pred &&done)
+{
+    for (int i = 0; i < kSpinIters; ++i) {
+        if (done(word.load(std::memory_order_acquire)))
+            return;
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+    }
+    for (int i = 0; i < kYieldIters; ++i) {
+        if (done(word.load(std::memory_order_acquire)))
+            return;
+        std::this_thread::yield();
+    }
+    for (;;) {
+        // Park until the word moves past `cur`. The value handed to
+        // wait() is the exact value the predicate rejected, so a
+        // change in between returns immediately instead of sleeping
+        // past the wakeup; the loop absorbs spurious returns.
+        const Word cur = word.load(std::memory_order_acquire);
+        if (done(cur))
+            return;
+        word.wait(cur, std::memory_order_relaxed);
+    }
+}
+
+TickTeam::TickTeam(unsigned width)
+    : lanes(width == 0 ? 1 : width), errors(lanes)
+{
+    if (lanes > 512)
+        util::fatal("TickTeam width ", width,
+                    " exceeds the 512-lane sanity cap");
+    workers.reserve(lanes - 1);
+    try {
+        for (unsigned lane = 1; lane < lanes; ++lane)
+            workers.emplace_back(
+                [this, lane] { workerLoop(lane); });
+    } catch (...) {
+        stopping.store(true, std::memory_order_release);
+        generation.fetch_add(1, std::memory_order_release);
+        generation.notify_all();
+        for (auto &w : workers)
+            w.join();
+        throw;
+    }
+}
+
+TickTeam::~TickTeam()
+{
+    stopping.store(true, std::memory_order_release);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+TickTeam::launchAndWait()
+{
+    for (auto &err : errors)
+        err = nullptr;
+
+    // Publish the work descriptor: the release bump of `generation`
+    // orders body/invoke/items (and the caller's pre-run() writes)
+    // before any worker's acquire load of the new generation.
+    pending.store(lanes - 1, std::memory_order_relaxed);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
+
+    // Lane 0 is the calling thread.
+    try {
+        invoke(body, tileBegin(items, lanes, 0),
+               tileEnd(items, lanes, 0), 0);
+    } catch (...) {
+        errors[0] = std::current_exception();
+    }
+
+    // Barrier: wait for every helper lane. The acquire load pairs
+    // with the workers' release decrements, ordering their writes to
+    // item state before the caller's post-run() reads.
+    spinThenWait(pending, [](unsigned v) { return v == 0; });
+
+    for (auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+void
+TickTeam::workerLoop(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        spinThenWait(generation,
+                     [seen](std::uint64_t v) { return v != seen; });
+        seen = generation.load(std::memory_order_acquire);
+        if (stopping.load(std::memory_order_acquire))
+            return;
+
+        try {
+            invoke(body, tileBegin(items, lanes, lane),
+                   tileEnd(items, lanes, lane), lane);
+        } catch (...) {
+            errors[lane] = std::current_exception();
+        }
+
+        if (pending.fetch_sub(1, std::memory_order_release) == 1)
+            pending.notify_one();
+    }
+}
+
+} // namespace colo
+} // namespace pliant

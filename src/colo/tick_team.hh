@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Intra-engine worker team for the parallel tick loop.
+ *
+ * driver::Pool fans out whole experiments; a TickTeam fans out the
+ * inside of ONE experiment's tick. The per-tick parallel region is
+ * tiny (tens of microseconds), so the condvar-per-job pool protocol
+ * would eat the speedup — the team instead keeps its workers parked
+ * on a generation-counter barrier (bounded spin, then a futex wait
+ * via std::atomic::wait) and releases them once per run() with two
+ * atomic operations, the pthread-barrier tiling pattern of the
+ * matthewl225__ece454 lab5 game-of-life kernel.
+ *
+ * Determinism contract (the same rule as driver::Sweep): lane w of W
+ * always processes the contiguous item block [w*n/W, (w+1)*n/W) — a
+ * pure function of (n, W, lane) — and item bodies may only touch
+ * state owned by their item plus read-only shared state. Under that
+ * contract results are byte-identical at ANY team width, which is
+ * what lets ColoConfig.engineThreads default to 1 with every golden
+ * intact and the 1-vs-N identity suites pin the threaded path.
+ */
+
+#ifndef PLIANT_COLO_TICK_TEAM_HH
+#define PLIANT_COLO_TICK_TEAM_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pliant {
+namespace colo {
+
+/**
+ * A fixed team of tick workers. The constructing thread is lane 0
+ * and participates in every run(); width() - 1 helper threads are
+ * parked between calls. A width-1 team spawns nothing and run()
+ * degenerates to an inline loop — the engineThreads=1 default costs
+ * no synchronization at all.
+ */
+class TickTeam
+{
+  public:
+    /** @param width total lanes including the caller (min 1). */
+    explicit TickTeam(unsigned width);
+    ~TickTeam();
+
+    TickTeam(const TickTeam &) = delete;
+    TickTeam &operator=(const TickTeam &) = delete;
+
+    unsigned width() const { return lanes; }
+
+    /** Static tiling: the item block lane w owns (end exclusive). */
+    static std::size_t
+    tileBegin(std::size_t n, unsigned width, unsigned lane)
+    {
+        return n * lane / width;
+    }
+    static std::size_t
+    tileEnd(std::size_t n, unsigned width, unsigned lane)
+    {
+        return n * (lane + 1) / width;
+    }
+
+    /**
+     * Invoke fn(item, lane) for every item in [0, n), statically
+     * tiled across the lanes, and block until every lane is done.
+     * No heap allocation on any path (the callable is passed by
+     * reference through a trampoline, never copied). If lanes threw,
+     * the exception from the lowest lane (= lowest item block) is
+     * rethrown, so failure behavior cannot race.
+     */
+    template <typename Fn>
+    void
+    run(std::size_t n, Fn &&fn)
+    {
+        using Body = std::remove_reference_t<Fn>;
+        if (lanes == 1 || n == 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i, 0U);
+            return;
+        }
+        body = const_cast<void *>(static_cast<const void *>(&fn));
+        invoke = [](void *ctx, std::size_t begin, std::size_t end,
+                    unsigned lane) {
+            Body &f = *static_cast<Body *>(ctx);
+            for (std::size_t i = begin; i < end; ++i)
+                f(i, lane);
+        };
+        items = n;
+        launchAndWait();
+    }
+
+  private:
+    void launchAndWait();
+    void workerLoop(unsigned lane);
+
+    /** Bounded spin on a predicate, then park on the atomic word. */
+    template <typename Word, typename Pred>
+    static void spinThenWait(std::atomic<Word> &word, Pred &&changed);
+
+    unsigned lanes;
+    std::vector<std::thread> workers;
+    /** Per-lane captured exceptions; rethrown in lane order. */
+    std::vector<std::exception_ptr> errors;
+
+    // --- barrier state ---
+    /** Bumped once per run(); workers park on its previous value. */
+    std::atomic<std::uint64_t> generation{0};
+    /** Lanes still inside the current run(); 0 = barrier reached. */
+    std::atomic<unsigned> pending{0};
+    std::atomic<bool> stopping{false};
+
+    // --- per-run() work descriptor (published by the generation
+    // bump's release ordering) ---
+    void *body = nullptr;
+    void (*invoke)(void *, std::size_t, std::size_t, unsigned) =
+        nullptr;
+    std::size_t items = 0;
+};
+
+} // namespace colo
+} // namespace pliant
+
+#endif // PLIANT_COLO_TICK_TEAM_HH

@@ -15,6 +15,12 @@ namespace {
  * exhaust the process thread limit.
  */
 constexpr long kMaxThreads = 512;
+
+/** Per-worker scratch arena block size (grown on demand via reset). */
+constexpr std::size_t kWorkerArenaBytes = 16 * 1024;
+
+/** The running worker's arena, set for the duration of each job. */
+thread_local util::Arena *tlsWorkerArena = nullptr;
 } // namespace
 
 unsigned
@@ -33,6 +39,29 @@ Pool::defaultThreadCount()
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
+}
+
+util::Arena *
+Pool::workerArena()
+{
+    return tlsWorkerArena;
+}
+
+void
+Pool::panicStopped()
+{
+    util::panic("Pool::submit on a stopping pool");
+}
+
+void
+Pool::JobRing::grow()
+{
+    // Unroll the ring into a doubled slot vector starting at 0.
+    std::vector<PoolJob> next(slots.empty() ? 64 : slots.size() * 2);
+    for (std::size_t i = 0; i < count; ++i)
+        next[i] = std::move(slots[(head + i) % slots.size()]);
+    slots = std::move(next);
+    head = 0;
 }
 
 Pool::Pool(unsigned threads)
@@ -71,20 +100,6 @@ Pool::~Pool()
 }
 
 void
-Pool::submit(std::function<void()> job)
-{
-    if (!job)
-        util::panic("Pool::submit called with an empty job");
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        if (stopping)
-            util::panic("Pool::submit on a stopping pool");
-        queue.push_back(std::move(job));
-    }
-    cvJob.notify_one();
-}
-
-void
 Pool::wait()
 {
     std::unique_lock<std::mutex> lock(mtx);
@@ -100,25 +115,31 @@ Pool::wait()
 void
 Pool::workerLoop()
 {
+    util::Arena arena(kWorkerArenaBytes);
+    tlsWorkerArena = &arena;
     for (;;) {
-        std::function<void()> job;
+        PoolJob job;
         {
             std::unique_lock<std::mutex> lock(mtx);
             cvJob.wait(lock,
                        [this] { return stopping || !queue.empty(); });
             if (queue.empty())
                 return; // stopping and drained
-            job = std::move(queue.front());
-            queue.pop_front();
+            job = queue.pop();
             ++inFlight;
         }
 
+        arena.reset();
         std::exception_ptr err;
         try {
             job();
         } catch (...) {
             err = std::current_exception();
         }
+        // Release the capture before reporting idle: a caller may
+        // destroy resources the capture references as soon as wait()
+        // returns.
+        job = PoolJob();
 
         {
             std::lock_guard<std::mutex> lock(mtx);

@@ -63,6 +63,14 @@ struct TaskContext
      * and the task index (see taskSeed()).
      */
     std::uint64_t seed = 0;
+
+    /**
+     * The executing worker's scratch arena, reset before the task
+     * started (Pool::workerArena()). Task-duration lifetime; scratch
+     * only — anything that outlives the task must not live here.
+     * Never null when the task runs on a pool worker.
+     */
+    util::Arena *scratch = nullptr;
 };
 
 /**
@@ -168,7 +176,8 @@ class Sweep
         std::atomic<std::size_t> completed{0};
         for (std::size_t i = 0; i < n; ++i) {
             pool.submit([this, i, n, &errors, &completed, &body] {
-                const TaskContext ctx{i, taskSeed(opts.seed, i)};
+                const TaskContext ctx{i, taskSeed(opts.seed, i),
+                                      Pool::workerArena()};
                 try {
                     body(ctx);
                 } catch (...) {

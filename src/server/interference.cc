@@ -23,10 +23,11 @@ struct Aggregate
 };
 
 Aggregate
-aggregate(const std::vector<approx::PressureVector> &corunners)
+aggregate(const approx::PressureVector *corunners, std::size_t n)
 {
     Aggregate agg;
-    for (const auto &p : corunners) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const approx::PressureVector &p = corunners[i];
         agg.llc += p.llcMb;
         agg.bw += p.membwGbs;
         agg.compute += p.compute;
@@ -37,6 +38,12 @@ aggregate(const std::vector<approx::PressureVector> &corunners)
                         0.5 * std::min(p.membwGbs / 22.0, 1.2);
     }
     return agg;
+}
+
+Aggregate
+aggregate(const std::vector<approx::PressureVector> &corunners)
+{
+    return aggregate(corunners.data(), corunners.size());
 }
 
 /**
@@ -139,8 +146,19 @@ InterferenceModel::contentionMulti(
     const std::vector<approx::PressureVector> &tasks,
     const CachePartition &partition) const
 {
-    return contend(llcMb, peakBw, self, aggregate(peers),
-                   aggregate(tasks),
+    return contentionMulti(self, peers.data(), peers.size(),
+                           tasks.data(), tasks.size(), partition);
+}
+
+ContentionBreakdown
+InterferenceModel::contentionMulti(
+    const approx::PressureVector &self,
+    const approx::PressureVector *peers, std::size_t n_peers,
+    const approx::PressureVector *tasks, std::size_t n_tasks,
+    const CachePartition &partition) const
+{
+    return contend(llcMb, peakBw, self, aggregate(peers, n_peers),
+                   aggregate(tasks, n_tasks),
                    partition.isolated() ? &partition : nullptr);
 }
 

@@ -99,6 +99,10 @@ InteractiveService::InteractiveService(ServiceConfig config,
     const double noise_sigma2 = std::log(1.0 + noise_cv * noise_cv);
     noiseMu = std::log(1.0) - 0.5 * noise_sigma2;
     noiseSd = std::sqrt(noise_sigma2);
+
+    if (cfg.fastSampling)
+        fastTable =
+            std::make_unique<util::LognormalQuantileTable>(sampleSigma);
 }
 
 void
@@ -168,7 +172,12 @@ InteractiveService::tick(sim::Time dt, double inflation,
     const std::size_t n_samples = static_cast<std::size_t>(std::min(
         60.0, std::max(8.0, offered_qps * dt_s * 0.01)));
     res.sampleUs.resize(n_samples);
-    rng.fillLognormal(res.sampleUs.data(), n_samples, mu, sampleSigma);
+    if (fastTable)
+        rng.fillLognormalFast(res.sampleUs.data(), n_samples, mu,
+                              *fastTable);
+    else
+        rng.fillLognormal(res.sampleUs.data(), n_samples, mu,
+                          sampleSigma);
 }
 
 approx::PressureVector

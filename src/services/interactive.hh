@@ -22,6 +22,7 @@
 #ifndef PLIANT_SERVICES_INTERACTIVE_HH
 #define PLIANT_SERVICES_INTERACTIVE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,16 @@ struct ServiceConfig
 
     /** Maximum backlog the open-loop clients sustain, in seconds. */
     double maxBacklogSec = 0.5;
+
+    /**
+     * Draw the per-request latency samples through the quantile
+     * table (Rng::fillLognormalFast) instead of exact Box-Muller.
+     * Statistically equivalent but NOT byte-identical — the fast
+     * stream consumes one uniform per sample — so the default stays
+     * off and every golden-pinned configuration keeps the exact
+     * sampler (see ColoConfig.fastSampling).
+     */
+    bool fastSampling = false;
 };
 
 /** Default configuration for each of the three services. */
@@ -150,6 +161,13 @@ class InteractiveService
     double sampleSigma = 0.0;
     double noiseMu = 0.0;
     double noiseSd = 0.0;
+
+    /**
+     * Sigma-matched lognormal quantile table, built only when
+     * cfg.fastSampling opts in (null otherwise — the exact sampler
+     * needs no table).
+     */
+    std::unique_ptr<util::LognormalQuantileTable> fastTable;
 };
 
 } // namespace services

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The engine's intra-tick parallelism contract: colo::Engine results
+ * are byte-identical at ANY engineThreads value (driver::Sweep's
+ * determinism rule applied inside one experiment), lane counts are
+ * validated up front, and a warmed-up tick loop performs zero heap
+ * allocations — the property the per-lane util::Arena scratch and
+ * the driver::Pool small-buffer jobs exist to provide.
+ *
+ * The identity checks deliberately mirror the figure configs: the
+ * Fig. 5 single-service shape, an 8-service flash crowd (the
+ * perf_tick headline bench), an admission-enabled colocation, and a
+ * 2-node cluster with per-engine lanes. All compare EXACT doubles.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "colo/builder.hh"
+#include "colo/engine.hh"
+#include "util/logging.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Each *_test.cc builds into its own
+// binary, so overriding the global allocation functions here observes
+// every heap allocation in the process — including ones made by
+// TickTeam worker threads. Arena blocks use the aligned forms, so
+// those must be intercepted too.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void *
+countedAlloc(std::size_t size, std::size_t align)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    void *p = nullptr;
+    if (align <= alignof(std::max_align_t)) {
+        p = std::malloc(size);
+    } else {
+        // aligned_alloc requires size to be a multiple of alignment.
+        const std::size_t rounded = (size + align - 1) / align * align;
+        p = std::aligned_alloc(align, rounded);
+    }
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace pliant;
+using namespace pliant::colo;
+
+constexpr sim::Time kS = sim::kSecond;
+
+/** Exact structural equality of two engine results. */
+void
+expectIdenticalColo(const ColoResult &a, const ColoResult &b)
+{
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.overallP99Us, b.overallP99Us);
+    EXPECT_EQ(a.steadyP99Us, b.steadyP99Us);
+    EXPECT_EQ(a.meanIntervalP99Us, b.meanIntervalP99Us);
+    EXPECT_EQ(a.qosMetFraction, b.qosMetFraction);
+    EXPECT_EQ(a.maxCoresReclaimedTotal, b.maxCoresReclaimedTotal);
+    EXPECT_EQ(a.typicalCoresReclaimed, b.typicalCoresReclaimed);
+    ASSERT_EQ(a.services.size(), b.services.size());
+    for (std::size_t s = 0; s < a.services.size(); ++s) {
+        EXPECT_EQ(a.services[s].name, b.services[s].name);
+        EXPECT_EQ(a.services[s].overallP99Us,
+                  b.services[s].overallP99Us);
+        EXPECT_EQ(a.services[s].steadyP99Us, b.services[s].steadyP99Us);
+        EXPECT_EQ(a.services[s].meanIntervalP99Us,
+                  b.services[s].meanIntervalP99Us);
+        EXPECT_EQ(a.services[s].qosMetFraction,
+                  b.services[s].qosMetFraction);
+        EXPECT_EQ(a.services[s].shedFraction, b.services[s].shedFraction);
+        EXPECT_EQ(a.services[s].meanQueueDelayUs,
+                  b.services[s].meanQueueDelayUs);
+        EXPECT_EQ(a.services[s].meanBatchSize,
+                  b.services[s].meanBatchSize);
+    }
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+        EXPECT_EQ(a.apps[i].finished, b.apps[i].finished);
+        EXPECT_EQ(a.apps[i].inaccuracy, b.apps[i].inaccuracy);
+        EXPECT_EQ(a.apps[i].relativeExecTime,
+                  b.apps[i].relativeExecTime);
+        EXPECT_EQ(a.apps[i].switches, b.apps[i].switches);
+    }
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].t, b.timeline[i].t);
+        EXPECT_EQ(a.timeline[i].p99Us, b.timeline[i].p99Us);
+        EXPECT_EQ(a.timeline[i].loadFraction,
+                  b.timeline[i].loadFraction);
+        EXPECT_EQ(a.timeline[i].variantOf, b.timeline[i].variantOf);
+        EXPECT_EQ(a.timeline[i].reclaimed, b.timeline[i].reclaimed);
+        EXPECT_EQ(a.timeline[i].partitionWays,
+                  b.timeline[i].partitionWays);
+        ASSERT_EQ(a.timeline[i].services.size(),
+                  b.timeline[i].services.size());
+        for (std::size_t s = 0; s < a.timeline[i].services.size();
+             ++s) {
+            EXPECT_EQ(a.timeline[i].services[s].p99Us,
+                      b.timeline[i].services[s].p99Us);
+            EXPECT_EQ(a.timeline[i].services[s].loadFraction,
+                      b.timeline[i].services[s].loadFraction);
+            EXPECT_EQ(a.timeline[i].services[s].shedFraction,
+                      b.timeline[i].services[s].shedFraction);
+            EXPECT_EQ(a.timeline[i].services[s].queueDelayUs,
+                      b.timeline[i].services[s].queueDelayUs);
+        }
+    }
+}
+
+/** Run the same config at several lane counts and compare to 1. */
+void
+expectLaneInvariant(const ColoConfig &base,
+                    std::initializer_list<unsigned> lane_counts)
+{
+    ColoConfig ref = base;
+    ref.engineThreads = 1;
+    const ColoResult golden = Engine(ref).run();
+    for (unsigned lanes : lane_counts) {
+        ColoConfig cfg = base;
+        cfg.engineThreads = lanes;
+        SCOPED_TRACE(testing::Message() << "engineThreads=" << lanes);
+        expectIdenticalColo(golden, Engine(cfg).run());
+    }
+}
+
+TEST(ParallelTickTest, Fig5ShapeIsLaneCountInvariant)
+{
+    // The paper's setup: legacy single-service fields, one app.
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Memcached;
+    cfg.loadFraction = 0.78;
+    cfg.apps = {"canneal"};
+    cfg.runtime = core::RuntimeKind::Pliant;
+    cfg.seed = 31;
+    cfg.maxDuration = 30 * kS;
+    expectLaneInvariant(cfg, {2, 4});
+}
+
+TEST(ParallelTickTest, FlashCrowd8ServicesIsLaneCountInvariant)
+{
+    // The perf_tick headline bench, shortened. Eight tenants over
+    // three lanes exercises uneven static tiles; six lanes leaves
+    // some lanes idle-but-synchronized.
+    ConfigBuilder b;
+    for (int s = 0; s < 8; ++s) {
+        const auto kind = (s % 2 == 0)
+                              ? services::ServiceKind::Memcached
+                              : services::ServiceKind::Nginx;
+        Scenario scenario =
+            (s == 0) ? Scenario::flashCrowd(0.55, 0.95, 10 * kS,
+                                            2 * kS, 8 * kS, 5 * kS)
+                     : Scenario::constant(0.45 + 0.05 * (s % 4));
+        b.service("svc" + std::to_string(s), kind,
+                  std::move(scenario));
+    }
+    const ColoConfig cfg = b.apps({"canneal", "bayesian", "snp"})
+                               .runtime(core::RuntimeKind::Pliant)
+                               .seed(71)
+                               .maxDuration(30 * kS)
+                               .build();
+    expectLaneInvariant(cfg, {3, 6});
+}
+
+TEST(ParallelTickTest, AdmissionColocationIsLaneCountInvariant)
+{
+    // Admission front-ends tick inside the parallel tenant body;
+    // their queue/batch state must stay tenant-private.
+    const ColoConfig cfg =
+        ConfigBuilder()
+            .service("mc-a", services::ServiceKind::Memcached,
+                     Scenario::flashCrowd(0.60, 1.25, 8 * kS, 2 * kS,
+                                          10 * kS, 4 * kS))
+            .service("mc-b", services::ServiceKind::Memcached,
+                     Scenario::constant(0.55))
+            .service("ng", services::ServiceKind::Nginx,
+                     Scenario::constant(0.50))
+            .apps({"canneal", "bayesian"})
+            .admission(admission::AdmissionKind::QosShed,
+                       admission::BatchingKind::Adaptive)
+            .seed(7)
+            .maxDuration(30 * kS)
+            .build();
+    expectLaneInvariant(cfg, {2, 3});
+}
+
+TEST(ParallelTickTest, ClusterComposesWithEngineLanes)
+{
+    // Per-engine lanes under the cluster's per-node worker pool:
+    // both knobs on must reproduce the all-serial run.
+    auto config = [](unsigned engine_lanes) {
+        return cluster::ClusterConfigBuilder()
+            .nodes(2)
+            .serviceOnAll(services::ServiceKind::Memcached,
+                          Scenario::constant(0.70))
+            .apps({"canneal", "bayesian", "snp", "kmeans"})
+            .placement(cluster::PlacementKind::QosAware)
+            .runtime(core::RuntimeKind::Pliant)
+            .maxDuration(40 * kS)
+            .seed(71)
+            .threads(2)
+            .engineThreads(engine_lanes)
+            .build();
+    };
+    const cluster::ClusterResult serial =
+        cluster::Cluster(config(1)).run();
+    const cluster::ClusterResult laned =
+        cluster::Cluster(config(3)).run();
+    ASSERT_EQ(serial.nodes.size(), laned.nodes.size());
+    EXPECT_EQ(serial.worstServiceRatio, laned.worstServiceRatio);
+    EXPECT_EQ(serial.meanQosMetFraction, laned.meanQosMetFraction);
+    EXPECT_EQ(serial.meanInaccuracy, laned.meanInaccuracy);
+    EXPECT_EQ(serial.meanRelativeExecTime,
+              laned.meanRelativeExecTime);
+    for (std::size_t i = 0; i < serial.nodes.size(); ++i) {
+        EXPECT_EQ(serial.nodes[i].seed, laned.nodes[i].seed);
+        expectIdenticalColo(serial.nodes[i].result,
+                            laned.nodes[i].result);
+    }
+}
+
+TEST(ParallelTickTest, LaneCountIsValidated)
+{
+    ColoConfig cfg;
+    cfg.apps = {"canneal"};
+    cfg.engineThreads = 0;
+    EXPECT_THROW(validateConfig(cfg), util::FatalError);
+    cfg.engineThreads = 600;
+    EXPECT_THROW(validateConfig(cfg), util::FatalError);
+    cfg.engineThreads = 512;
+    EXPECT_NO_THROW(validateConfig(cfg));
+}
+
+TEST(ParallelTickTest, WarmTickLoopPerformsZeroHeapAllocations)
+{
+    // Constant-load tenants keep each tick's sample-vector size
+    // fixed, so after warmup every per-tick buffer has reached its
+    // steady capacity and the only scratch in the tenant body is the
+    // per-lane Arena. The measured window (10.2s -> 10.9s) crosses
+    // no decision-interval close — the next timeline append (which
+    // legitimately allocates) happens at 11s.
+    const ColoConfig cfg =
+        ConfigBuilder()
+            .service("mc-a", services::ServiceKind::Memcached,
+                     Scenario::constant(0.70))
+            .service("mc-b", services::ServiceKind::Memcached,
+                     Scenario::constant(0.60))
+            .service("ng", services::ServiceKind::Nginx,
+                     Scenario::constant(0.55))
+            .apps({"canneal", "bayesian"})
+            .runtime(core::RuntimeKind::Pliant)
+            .seed(5)
+            .engineThreads(2)
+            .build();
+    Engine engine(cfg);
+    engine.advanceUntil(sim::Time(10.2 * kS));
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    engine.advanceUntil(sim::Time(10.9 * kS));
+    const std::uint64_t after =
+        g_allocations.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0U)
+        << "warm tick loop allocated " << (after - before)
+        << " times between 10.2s and 10.9s";
+}
+
+} // namespace

@@ -9,7 +9,9 @@
 #include "driver/pool.hh"
 #include "driver/sweep.hh"
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -66,6 +68,99 @@ TEST(PoolTest, WaitRethrowsJobException)
     pool.submit([&count] { ++count; });
     pool.wait();
     EXPECT_EQ(count.load(), 1);
+}
+
+TEST(PoolJobTest, SmallCapturesLiveInline)
+{
+    int hits = 0;
+    int *p = &hits;
+    driver::PoolJob small([p] { ++*p; });
+    EXPECT_TRUE(small.inlined());
+    small();
+    EXPECT_EQ(hits, 1);
+
+    // Moving an inline job relocates the capture, not a pointer.
+    driver::PoolJob moved(std::move(small));
+    EXPECT_TRUE(moved.inlined());
+    moved();
+    EXPECT_EQ(hits, 2);
+    EXPECT_FALSE(static_cast<bool>(small));
+}
+
+TEST(PoolJobTest, OversizedCapturesAreBoxedAndStillRun)
+{
+    // 128 bytes of capture exceeds kInlineBytes: the job must fall
+    // back to one heap box and behave identically.
+    std::array<std::uint64_t, 16> payload{};
+    payload.fill(7);
+    std::uint64_t sum = 0;
+    driver::PoolJob big([payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    static_assert(sizeof(payload) > driver::PoolJob::kInlineBytes);
+    EXPECT_FALSE(big.inlined());
+
+    driver::PoolJob moved(std::move(big));
+    EXPECT_FALSE(moved.inlined());
+    moved();
+    EXPECT_EQ(sum, 7u * 16u);
+}
+
+TEST(PoolTest, OversizedCaptureJobsPropagateExceptions)
+{
+    driver::Pool pool(2);
+    std::array<char, 100> blob{};
+    blob[0] = 'x';
+    pool.submit([blob] {
+        throw std::runtime_error(std::string("boxed ") + blob[0]);
+    });
+    try {
+        pool.wait();
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boxed x");
+    }
+}
+
+TEST(PoolTest, QueueRingSurvivesGrowthAndWrap)
+{
+    // More queued jobs than the ring's initial capacity, twice over,
+    // with waits in between so head sits mid-ring when the second
+    // burst wraps and regrows.
+    driver::Pool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 300; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 900);
+}
+
+TEST(SweepTest, TasksReceiveAResetScratchArena)
+{
+    driver::SweepOptions opts;
+    opts.threads = 4;
+    driver::Sweep sweep(opts);
+    // Every task gets a worker arena, freshly reset (bytesUsed == 0),
+    // and usable for task-local allocation.
+    const auto out =
+        sweep.map(64, [](const driver::TaskContext &ctx) {
+            if (ctx.scratch == nullptr)
+                return std::size_t{0};
+            if (ctx.scratch->bytesUsed() != 0)
+                return std::size_t{1};
+            auto *vals = ctx.scratch->allocateArray<double>(16);
+            for (int i = 0; i < 16; ++i)
+                vals[i] = static_cast<double>(i);
+            double sum = 0.0;
+            for (int i = 0; i < 16; ++i)
+                sum += vals[i];
+            return static_cast<std::size_t>(sum); // 120
+        });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 120u) << "task " << i;
 }
 
 TEST(TaskSeedTest, DependsOnlyOnBaseAndIndex)
