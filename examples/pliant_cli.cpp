@@ -18,6 +18,8 @@
  *              [--admission accept-all|drop-tail|prob-shed|qos-shed]
  *              [--batching none|fixed:<N>|adaptive:<usec>]
  *              [--queue-bound-qos F]
+ *              [--quality-budget F] [--shed-budget F]
+ *              [--budget-policy uniform|proportional|learned]
  *              [--list-apps]
  *
  * --services runs a multi-service colocation (one tenant per listed
@@ -40,6 +42,11 @@
  * monitored tails, shed/batch counters appear in the tables and CSV
  * exports, and --queue-bound-qos sizes the queue in multiples of
  * each service's QoS target.
+ * --quality-budget / --shed-budget / --budget-policy enable the
+ * cluster-wide budget controller (requires --nodes N > 1): at every
+ * epoch barrier the cluster splits the global quality-loss and shed
+ * budgets into per-node caps that gate runtime escalation and
+ * admission shedding.
  */
 
 #include <algorithm>
@@ -49,6 +56,7 @@
 #include <vector>
 
 #include "approx/profile.hh"
+#include "budget/budget.hh"
 #include "cluster/cluster.hh"
 #include "colo/engine.hh"
 #include "colo/trace.hh"
@@ -77,6 +85,8 @@ usage(const char *argv0)
            " [--admission accept-all|drop-tail|prob-shed|qos-shed]"
            " [--batching none|fixed:<N>|adaptive:<usec>]"
            " [--queue-bound-qos F]"
+           " [--quality-budget F] [--shed-budget F]"
+           " [--budget-policy uniform|proportional|learned]"
            " [--list-apps]\n";
     std::exit(2);
 }
@@ -136,6 +146,17 @@ parseService(const std::string &s, const char *argv0)
     if (s == "mongodb")
         return services::ServiceKind::MongoDb;
     usage(argv0);
+}
+
+budget::BudgetPolicy
+parseBudgetPolicy(const std::string &s, const char *argv0)
+{
+    try {
+        return budget::parsePolicy(s);
+    } catch (const util::FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        usage(argv0);
+    }
 }
 
 cluster::PlacementKind
@@ -198,6 +219,7 @@ main(int argc, char **argv)
     std::size_t nodes = 1;
     cluster::PlacementKind placement = cluster::PlacementKind::Static;
     sim::Time epoch = 5 * sim::kSecond;
+    budget::BudgetConfig budget_cfg;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -255,6 +277,15 @@ main(int argc, char **argv)
         } else if (arg == "--queue-bound-qos") {
             cfg.admission.enabled = true;
             cfg.admission.queueBoundQos = std::stod(next());
+        } else if (arg == "--quality-budget") {
+            budget_cfg.enabled = true;
+            budget_cfg.qualityBudget = std::stod(next());
+        } else if (arg == "--shed-budget") {
+            budget_cfg.enabled = true;
+            budget_cfg.shedBudget = std::stod(next());
+        } else if (arg == "--budget-policy") {
+            budget_cfg.enabled = true;
+            budget_cfg.policy = parseBudgetPolicy(next(), argv[0]);
         } else if (arg == "--csv") {
             csv_mode = next();
         } else if (arg == "--list-apps") {
@@ -289,6 +320,12 @@ main(int argc, char **argv)
     // Cluster mode: every node hosts the assembled service list; the
     // placement policy spreads the apps (and, for qos-aware, may
     // migrate them at epoch boundaries).
+    if (budget_cfg.enabled && nodes <= 1) {
+        std::cerr << "error: --quality-budget/--shed-budget/"
+                     "--budget-policy are cluster features; pass "
+                     "--nodes N with N > 1\n";
+        return 2;
+    }
     if (nodes > 1) {
         if (!csv_mode.empty()) {
             std::cerr << "error: --csv is a single-node feature\n";
@@ -317,6 +354,8 @@ main(int argc, char **argv)
                 .seed(cfg.seed);
             if (cfg.admission.enabled)
                 builder.admission(cfg.admission);
+            if (budget_cfg.enabled)
+                builder.budget(budget_cfg);
             const cluster::ClusterConfig ccfg = builder.build();
             cluster::Cluster cl(ccfg);
             const cluster::ClusterResult r = cl.run();
@@ -358,6 +397,12 @@ main(int argc, char **argv)
                           << r.nodes[mig.to].name << " at t="
                           << util::fmt(sim::toSeconds(mig.t), 1)
                           << " s\n";
+            if (r.budgetEnabled)
+                std::cout << "budget: policy=" << r.budgetPolicy
+                          << " quality_used="
+                          << util::fmt(r.budgetQualityUsed, 4)
+                          << " shed_used="
+                          << util::fmt(r.budgetShedUsed, 4) << '\n';
         } catch (const util::FatalError &err) {
             std::cerr << "error: " << err.what() << '\n';
             return 1;

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Diff a fresh perf_tick JSON against the committed reference.
+
+Fails (exit 1) on schema drift: top-level keys, the per-config key
+set, the config roster/order, or any deterministic simulation field
+(ticks, engine_threads, fast_sampling) changing. Wall-clock fields
+(wall_s, ticks_per_sec, speedup_vs_1t) are noisy on shared runners,
+so they only produce a warning line showing the ratio — the perf
+trajectory artifact is where timing history lives.
+
+Usage: check_bench_schema.py <committed.json> <fresh.json>
+"""
+
+import json
+import sys
+
+WALL_CLOCK_FIELDS = {"wall_s", "ticks_per_sec", "speedup_vs_1t"}
+DETERMINISTIC_FIELDS = {"ticks", "engine_threads", "fast_sampling"}
+
+
+def fail(msg):
+    print(f"SCHEMA DRIFT: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        committed = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    if set(committed) != set(fresh):
+        fail(f"top-level keys {sorted(fresh)} != "
+             f"committed {sorted(committed)}")
+    if committed["bench"] != fresh["bench"]:
+        fail(f"bench name {fresh['bench']!r} != "
+             f"committed {committed['bench']!r}")
+
+    committed_names = [c["name"] for c in committed["configs"]]
+    fresh_names = [c["name"] for c in fresh["configs"]]
+    if committed_names != fresh_names:
+        fail(f"config roster {fresh_names} != "
+             f"committed {committed_names}")
+
+    for ref, new in zip(committed["configs"], fresh["configs"]):
+        name = ref["name"]
+        if set(ref) != set(new):
+            fail(f"config '{name}' keys {sorted(new)} != "
+                 f"committed {sorted(ref)}")
+        for field in sorted(DETERMINISTIC_FIELDS & set(ref)):
+            if ref[field] != new[field]:
+                fail(f"config '{name}' {field} = {new[field]} != "
+                     f"committed {ref[field]} (simulated output "
+                     f"moved — this is a regression, not noise)")
+        for field in sorted(WALL_CLOCK_FIELDS & set(ref)):
+            if not ref[field]:
+                continue
+            ratio = new[field] / ref[field]
+            flag = " <-- check locally" if not 0.5 <= ratio <= 2.0 \
+                else ""
+            print(f"warn-only: '{name}' {field} ratio vs committed "
+                  f"= {ratio:.2f}{flag}")
+
+    print("BENCH_tick schema matches the committed reference.")
+
+
+if __name__ == "__main__":
+    main()

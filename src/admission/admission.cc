@@ -175,8 +175,12 @@ AdmissionQueue::shedFractionFor(double arrivals, double capacity_req,
             std::max(0.0, capacity_req - drain);
         const double raw =
             arrivals > 0.0 ? 1.0 - admit_target / arrivals : 0.0;
-        const double shed =
-            std::clamp(raw, 0.0, cfg.maxShedFraction);
+        // The budget slice, when set, replaces the local clamp: a
+        // cluster-funded entitlement may exceed maxShedFraction.
+        const double clamp_at =
+            shedCap >= 0.0 ? std::min(shedCap, 1.0)
+                           : cfg.maxShedFraction;
+        const double shed = std::clamp(raw, 0.0, clamp_at);
         // Gate release: once there has been nothing to shed and no
         // meaningful backlog for half a second of simulated time,
         // the overload is over — disarm until the next violated

@@ -234,6 +234,22 @@ class AdmissionQueue
      */
     void onQosFeedback(double ratio, double reliefRatio);
 
+    /**
+     * Budget hook: cap this tenant's deliberate shed fraction (the
+     * node's slice of a cluster-wide shed budget). A non-negative
+     * cap *replaces* the config's maxShedFraction clamp — a slice
+     * above the local default is a hot node spending entitlement
+     * its quiet peers are not using, a slice of 0 disarms deliberate
+     * shedding entirely (the drop-tail overflow backstop still
+     * applies: a full finite buffer has no choice). Negative (the
+     * default) means unlimited, i.e. exactly the pre-budget clamp —
+     * byte-identical. Updated at cluster epoch barriers.
+     */
+    void setShedCap(double cap) { shedCap = cap; }
+
+    /** The active shed cap (< 0: the config clamp applies). */
+    double currentShedCap() const { return shedCap; }
+
     /** Close the decision interval: report and reset the window. */
     AdmissionStats closeInterval();
 
@@ -270,6 +286,9 @@ class AdmissionQueue
     // QoS feedback (QosShed), refreshed each decision interval.
     double qosRatio = 0.0;
     double reliefRatio = -1.0;
+
+    /** Budget slice clamp on deliberate shed (< 0: config clamp). */
+    double shedCap = -1.0;
 
     /**
      * QosShed gate: armed at a decision-interval close when the

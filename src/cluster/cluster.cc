@@ -70,6 +70,12 @@ validateClusterConfig(const ClusterConfig &cfg)
                     " s): placement acts on closed interval reports");
     // Inert when disabled; every field checked when enabled.
     admission::validateAdmissionConfig(cfg.admission);
+    budget::validateBudgetConfig(cfg.budget);
+    if (cfg.budget.enabled && cfg.nodes.size() < 2)
+        util::fatal("cluster-wide budgets need at least 2 nodes to "
+                    "split across (got ", cfg.nodes.size(),
+                    "): a single node's slice is the whole budget — "
+                    "run without budgets instead");
 }
 
 std::uint64_t
@@ -153,6 +159,8 @@ Cluster::gatherStatuses() const
         for (const auto &report : st.services)
             st.admissionShedFraction = std::max(
                 st.admissionShedFraction, report.shedFraction);
+        st.qualityInUse = engines[i]->qualityInUse();
+        st.qualityHeadroom = engines[i]->qualityHeadroom();
         st.apps.reserve(engines[i]->appCount());
         for (std::size_t a = 0; a < engines[i]->appCount(); ++a) {
             AppStatus app;
@@ -198,6 +206,28 @@ Cluster::applyMigration(const MigrationDecision &decision,
     }
 }
 
+void
+Cluster::allocateBudget(const std::vector<NodeStatus> &statuses)
+{
+    std::vector<budget::NodeDemand> demands;
+    demands.reserve(statuses.size());
+    for (const auto &st : statuses) {
+        budget::NodeDemand d;
+        d.name = st.name;
+        d.worstRatio = st.worstRatio;
+        d.reliefRatio = st.reliefRatio;
+        d.qualityInUse = st.qualityInUse;
+        d.qualityHeadroom = st.qualityHeadroom;
+        d.shedFraction = st.admissionShedFraction;
+        demands.push_back(std::move(d));
+    }
+    const std::vector<budget::NodeSlice> slices =
+        budgeter->allocate(demands);
+    for (std::size_t i = 0; i < engines.size(); ++i)
+        engines[i]->setBudgetSlice(slices[i].qualityCap,
+                                   slices[i].shedCap);
+}
+
 ClusterResult
 Cluster::run()
 {
@@ -211,6 +241,15 @@ Cluster::run()
 
     ClusterResult out;
     out.placement = policy->name();
+
+    if (cfg.budget.enabled) {
+        budgeter = std::make_unique<budget::Controller>(
+            cfg.budget, engines.size());
+        // Install initial slices before any node runs: with no
+        // reports yet every demand is zero, so each policy degrades
+        // to a uniform split, and nodes are budget-gated from t=0.
+        allocateBudget(gatherStatuses());
+    }
 
     driver::Pool pool(cfg.threads);
     sim::Time t = 0;
@@ -248,10 +287,14 @@ Cluster::run()
         if (all_apps_done || t >= cfg.maxDuration)
             break;
 
-        // Placement acts at the barrier, on one thread.
-        for (const auto &decision :
-             policy->rebalance(gatherStatuses(), t))
+        // Placement and budgeting act at the barrier, on one thread.
+        // Both read the same status snapshot; budgets are re-split
+        // after migrations so slices track the post-move node state.
+        const std::vector<NodeStatus> statuses = gatherStatuses();
+        for (const auto &decision : policy->rebalance(statuses, t))
             applyMigration(decision, t, out);
+        if (budgeter)
+            allocateBudget(statuses);
     }
 
     out.nodes.reserve(engines.size());
@@ -297,6 +340,14 @@ Cluster::run()
     out.appsFinished = finished;
     out.appsTotal = total;
     out.totalMaxCoresReclaimed = cores;
+    if (cfg.budget.enabled) {
+        out.budgetEnabled = true;
+        out.budgetPolicy = budget::policyName(cfg.budget.policy);
+        for (const auto &nr : out.nodes) {
+            out.budgetQualityUsed += nr.result.budgetQualityUsed;
+            out.budgetShedUsed += nr.result.budgetShedUsed;
+        }
+    }
     return out;
 }
 
@@ -484,6 +535,26 @@ ClusterConfigBuilder::admission(
     cfg.admission.enabled = true;
     cfg.admission.policy = policy;
     cfg.admission.batching = batching;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::budget(pliant::budget::BudgetConfig budget_cfg)
+{
+    cfg.budget = std::move(budget_cfg);
+    cfg.budget.enabled = true;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::budget(pliant::budget::BudgetPolicy policy,
+                             double quality_budget,
+                             double shed_budget)
+{
+    cfg.budget.enabled = true;
+    cfg.budget.policy = policy;
+    cfg.budget.qualityBudget = quality_budget;
+    cfg.budget.shedBudget = shed_budget;
     return *this;
 }
 

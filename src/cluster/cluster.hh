@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "budget/budget.hh"
 #include "cluster/placement.hh"
 #include "colo/engine.hh"
 #include "driver/sweep.hh"
@@ -83,6 +84,14 @@ struct ClusterConfig
      * clusters are byte-identical to pre-admission ones.
      */
     admission::AdmissionConfig admission;
+
+    /**
+     * Cluster-wide quality/shed budgets, allocated per epoch by a
+     * budget::Controller alongside placement (see src/budget/).
+     * Disabled by default; disabled clusters are byte-identical to
+     * pre-budget ones.
+     */
+    budget::BudgetConfig budget;
 
     /** How apps land on nodes, and whether they move. */
     PlacementKind placement = PlacementKind::Static;
@@ -165,6 +174,18 @@ struct ClusterResult
 
     /** Sum over nodes of the max cores simultaneously reclaimed. */
     int totalMaxCoresReclaimed = 0;
+
+    /**
+     * Budget rollups (neutral when budgets are disabled): the split
+     * policy's name, and the cluster-wide usage — sums over nodes of
+     * the per-node post-warmup means of quality-in-use and
+     * worst-tenant shed fraction, comparable against the global
+     * budgets.
+     */
+    bool budgetEnabled = false;
+    std::string budgetPolicy;
+    double budgetQualityUsed = 0.0;
+    double budgetShedUsed = 0.0;
 };
 
 /**
@@ -232,6 +253,16 @@ class ClusterConfigBuilder
     admission(pliant::admission::AdmissionKind policy,
               pliant::admission::BatchingKind batching =
                   pliant::admission::BatchingKind::None);
+
+    /**
+     * Enable cluster-wide budgets (see budget::BudgetConfig; types
+     * spelled via pliant:: because the method name hides the
+     * namespace in class scope, the admission() pattern).
+     */
+    ClusterConfigBuilder &budget(pliant::budget::BudgetConfig cfg);
+    ClusterConfigBuilder &budget(pliant::budget::BudgetPolicy policy,
+                                 double quality_budget,
+                                 double shed_budget);
 
     ClusterConfigBuilder &epoch(sim::Time epoch);
     ClusterConfigBuilder &decisionInterval(sim::Time interval);
@@ -308,8 +339,16 @@ class Cluster
     void applyMigration(const MigrationDecision &decision,
                         sim::Time now, ClusterResult &out);
 
+    /**
+     * Budget step at an epoch barrier (no-op when disabled): derive
+     * each node's demand from its status, let the controller split
+     * the global budgets, and install the slices on the engines.
+     */
+    void allocateBudget(const std::vector<NodeStatus> &statuses);
+
     ClusterConfig cfg;
     std::unique_ptr<PlacementPolicy> policy;
+    std::unique_ptr<budget::Controller> budgeter; ///< null: disabled
     std::vector<std::size_t> assignment; ///< app index -> node index
     std::vector<colo::ColoConfig> nodeConfigs;
     std::vector<std::string> nodeNames;

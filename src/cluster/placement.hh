@@ -106,6 +106,15 @@ struct NodeStatus
      * ratio the node would roughly be at had it served everything.
      */
     double admissionShedFraction = 0.0;
+
+    /**
+     * Quality accounting for the budget controller: the summed
+     * current-variant inaccuracy of the node's unfinished apps, and
+     * the additional inaccuracy it could still spend by escalating
+     * them (see colo::Engine::qualityInUse / qualityHeadroom).
+     */
+    double qualityInUse = 0.0;
+    double qualityHeadroom = 0.0;
 };
 
 /** A migration the policy requests at an epoch boundary. */

@@ -139,6 +139,17 @@ class Engine::ServerActuator : public core::Actuator
         return std::max(most.inaccuracy - cur.inaccuracy, 0.0);
     }
 
+    double inaccuracyOf(int t) const override
+    {
+        const auto &task = tasks[idx(t)];
+        return task.profile().variant(task.variantIndex()).inaccuracy;
+    }
+
+    double inaccuracyAt(int t, int v) const override
+    {
+        return tasks[idx(t)].profile().variant(v).inaccuracy;
+    }
+
   private:
     static std::size_t
     idx(int t)
@@ -599,6 +610,14 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                                        reports[s].queueDelayUs});
             tp.partitionWays = partition.serviceWays();
             tp.decision = decision;
+            if (budgetActive) {
+                tp.budgetQualityUsed = qualityInUse();
+                for (const auto &report : reports)
+                    tp.budgetShedUsed = std::max(
+                        tp.budgetShedUsed, report.shedFraction);
+                tp.budgetQualityCap = qualitySliceCap;
+                tp.budgetShedCap = shedSliceCap;
+            }
             for (std::size_t i = 0; i < tasks.size(); ++i) {
                 tp.variantOf.push_back(tasks[i].variantIndex());
                 const int reclaimed =
@@ -662,6 +681,45 @@ std::vector<core::ServiceRelief>
 Engine::reliefPredictions() const
 {
     return runtime->reliefPredictions();
+}
+
+void
+Engine::setBudgetSlice(double quality_cap, double shed_cap)
+{
+    budgetActive = true;
+    partial.budgetEnabled = true;
+    qualitySliceCap = quality_cap;
+    shedSliceCap = shed_cap;
+    runtime->setQualityCap(quality_cap);
+    for (auto &ten : tenants)
+        if (ten.admission)
+            ten.admission->setShedCap(shed_cap);
+}
+
+double
+Engine::qualityInUse() const
+{
+    double in_use = 0.0;
+    for (const auto &task : tasks)
+        if (!task.finished())
+            in_use +=
+                task.profile().variant(task.variantIndex()).inaccuracy;
+    return in_use;
+}
+
+double
+Engine::qualityHeadroom() const
+{
+    double headroom = 0.0;
+    for (const auto &task : tasks) {
+        if (task.finished())
+            continue;
+        const auto &prof = task.profile();
+        headroom +=
+            prof.variant(prof.mostApproxIndex()).inaccuracy -
+            prof.variant(task.variantIndex()).inaccuracy;
+    }
+    return std::max(headroom, 0.0);
 }
 
 ColoResult
@@ -732,6 +790,35 @@ Engine::finalize()
     }
     result.maxCoresReclaimedTotal = max_total;
     result.approximationAloneSufficed = max_total == 0;
+    if (result.budgetEnabled) {
+        // Budget rollups: post-warmup means of the interval samples
+        // (full-timeline fallback for very short runs, mirroring the
+        // per-service p99 means), plus the caps in force at the end.
+        double q_sum = 0.0, s_sum = 0.0;
+        std::size_t n_budget = 0;
+        for (const auto &tp : result.timeline) {
+            if (tp.t <= warmup)
+                continue;
+            q_sum += tp.budgetQualityUsed;
+            s_sum += tp.budgetShedUsed;
+            ++n_budget;
+        }
+        if (n_budget == 0) {
+            for (const auto &tp : result.timeline) {
+                q_sum += tp.budgetQualityUsed;
+                s_sum += tp.budgetShedUsed;
+                ++n_budget;
+            }
+        }
+        if (n_budget > 0) {
+            result.budgetQualityUsed =
+                q_sum / static_cast<double>(n_budget);
+            result.budgetShedUsed =
+                s_sum / static_cast<double>(n_budget);
+        }
+        result.budgetQualityCap = qualitySliceCap;
+        result.budgetShedCap = shedSliceCap;
+    }
     for (const auto &tp : result.timeline)
         result.maxPartitionWays =
             std::max(result.maxPartitionWays, tp.partitionWays);

@@ -191,6 +191,17 @@ struct TimePoint
     std::vector<int> reclaimed;  ///< per-app cores reclaimed
     int partitionWays = 0;       ///< LLC ways isolated for services
     core::Decision decision;     ///< what the runtime did
+
+    /**
+     * Budget accounting at this interval close, sampled only when
+     * the node holds a budget slice (neutral otherwise): summed
+     * current-variant inaccuracy of unfinished apps, the worst
+     * per-service shed fraction, and the caps in force.
+     */
+    double budgetQualityUsed = 0.0;
+    double budgetShedUsed = 0.0;
+    double budgetQualityCap = -1.0;
+    double budgetShedCap = -1.0;
 };
 
 /** Per-application outcome. */
@@ -250,6 +261,23 @@ struct ColoResult
      * columns on this so disabled runs stay byte-identical.
      */
     bool admissionEnabled = false;
+
+    /**
+     * Whether this node held a cluster budget slice. Output writers
+     * key the budget columns on this (the admission pattern), so
+     * budget-less runs stay byte-identical.
+     */
+    bool budgetEnabled = false;
+
+    /**
+     * Budget rollups (neutral without a slice): mean quality-in-use
+     * and worst-tenant shed fraction over post-warmup intervals,
+     * plus the final caps in force when the run ended.
+     */
+    double budgetQualityUsed = 0.0;
+    double budgetShedUsed = 0.0;
+    double budgetQualityCap = -1.0;
+    double budgetShedCap = -1.0;
 
     /** Overall p99 across every request sample of the run. */
     double overallP99Us = 0.0;
@@ -392,6 +420,28 @@ class Engine
      */
     std::vector<core::ServiceRelief> reliefPredictions() const;
 
+    /**
+     * Budget hook: install this node's slice of the cluster-wide
+     * quality and shed budgets (see budget::Controller). Called at
+     * epoch barriers, between advanceUntil() chunks: the runtime
+     * gates escalation at `quality_cap` and every tenant's admission
+     * front-end clamps deliberate shedding at `shed_cap` (either
+     * < 0: that lever is unlimited). Installing any slice turns on
+     * the result's budget accounting.
+     */
+    void setBudgetSlice(double quality_cap, double shed_cap);
+
+    /** Summed current-variant inaccuracy of unfinished apps. */
+    double qualityInUse() const;
+
+    /**
+     * Additional inaccuracy this node could still spend: summed
+     * (most-approximate minus current) variant inaccuracy over
+     * unfinished apps. The budget controller reads this as the
+     * node's escalation appetite.
+     */
+    double qualityHeadroom() const;
+
     /** Live app introspection (indices into the current task list). */
     std::size_t appCount() const { return tasks.size(); }
     const std::string &appName(std::size_t i) const;
@@ -483,6 +533,10 @@ class Engine
     sim::Time nextDecision = 0;
     int totalIntervals = 0;
     bool finalized = false;
+    /** Budget slice state (inactive until setBudgetSlice). */
+    bool budgetActive = false;
+    double qualitySliceCap = -1.0;
+    double shedSliceCap = -1.0;
     /** Per-task max cores reclaimed (parallel to `tasks`). */
     std::vector<int> maxReclaimed;
     /** Hot-loop buffers, allocated once (see run loop comment). */

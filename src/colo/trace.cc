@@ -56,6 +56,12 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
             header.push_back(svc.name + "_qdelay_us");
         }
     }
+    if (result.budgetEnabled) {
+        header.push_back("budget_quality_used");
+        header.push_back("budget_shed_used");
+        header.push_back("node_quality_slice");
+        header.push_back("node_shed_slice");
+    }
     csv.writeRow(header);
 
     std::size_t roster = 0;
@@ -96,6 +102,12 @@ writeTimelineCsv(std::ostream &os, const ColoResult &result)
                 row.push_back(util::fmt(svc.queueDelayUs, 1));
             }
         }
+        if (result.budgetEnabled) {
+            row.push_back(util::fmt(tp.budgetQualityUsed, 5));
+            row.push_back(util::fmt(tp.budgetShedUsed, 4));
+            row.push_back(util::fmt(tp.budgetQualityCap, 5));
+            row.push_back(util::fmt(tp.budgetShedCap, 4));
+        }
         csv.writeRow(row);
     }
 }
@@ -114,6 +126,12 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
         header.push_back("shed_fraction");
         header.push_back("mean_queue_delay_us");
         header.push_back("mean_batch_size");
+    }
+    if (result.budgetEnabled) {
+        header.push_back("budget_quality_used");
+        header.push_back("budget_shed_used");
+        header.push_back("node_quality_slice");
+        header.push_back("node_shed_slice");
     }
     csv.writeRow(header);
     double inacc = 0.0, rel = 0.0;
@@ -140,6 +158,12 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
             row.push_back(util::fmt(svc.shedFraction, 4));
             row.push_back(util::fmt(svc.meanQueueDelayUs, 1));
             row.push_back(util::fmt(svc.meanBatchSize, 2));
+        }
+        if (result.budgetEnabled) {
+            row.push_back(util::fmt(result.budgetQualityUsed, 5));
+            row.push_back(util::fmt(result.budgetShedUsed, 4));
+            row.push_back(util::fmt(result.budgetQualityCap, 5));
+            row.push_back(util::fmt(result.budgetShedCap, 4));
         }
         csv.writeRow(row);
     }

@@ -90,6 +90,17 @@ class Actuator
      * approximate variant (its max inaccuracy). Impact-aware only.
      */
     virtual double qualityCost(int) const { return 1.0; }
+
+    /**
+     * Output inaccuracy of task t's *current* variant. The budget
+     * layer's quality accounting sums this over unfinished tasks;
+     * the default (0 = every variant is free) keeps actuators
+     * without a quality model ungated under any cap.
+     */
+    virtual double inaccuracyOf(int) const { return 0.0; }
+
+    /** Output inaccuracy of task t's variant v. */
+    virtual double inaccuracyAt(int, int) const { return 0.0; }
 };
 
 } // namespace core

@@ -227,6 +227,36 @@ LearnedRuntime::onInterval(const std::vector<ServiceReport> &services)
     return Decision{};
 }
 
+double
+LearnedRuntime::qualityInUse() const
+{
+    double in_use = 0.0;
+    for (int t = 0; t < act.taskCount(); ++t)
+        if (!act.taskFinished(t))
+            in_use += act.inaccuracyOf(t);
+    return in_use;
+}
+
+int
+LearnedRuntime::effectiveMost(int t) const
+{
+    const int most = act.mostApproxOf(t);
+    if (qualityCap < 0.0)
+        return most; // unlimited: the full catalog is in play
+    const int cur = act.variantOf(t);
+    const double headroom = qualityCap - qualityInUse();
+    const double current = act.inaccuracyOf(t);
+    // Variants are ordered toward more approximation; the bound is
+    // the last consecutive one whose additional inaccuracy fits.
+    int eff = cur;
+    for (int v = cur + 1; v <= most; ++v) {
+        if (act.inaccuracyAt(t, v) - current > headroom)
+            break;
+        eff = v;
+    }
+    return eff;
+}
+
 Decision
 LearnedRuntime::reclaimAny()
 {
@@ -252,7 +282,10 @@ LearnedRuntime::escalate()
         if (act.taskFinished(t))
             continue;
         const int cur = act.variantOf(t);
-        const int most = act.mostApproxOf(t);
+        // The search is bounded by the budget slice: under an
+        // unlimited cap this is the catalog's most approximate
+        // variant, byte-identical to the ungated controller.
+        const int most = effectiveMost(t);
         if (cur >= most)
             continue;
 
@@ -292,7 +325,9 @@ LearnedRuntime::escalateVector()
         if (act.taskFinished(t))
             continue;
         const int cur = act.variantOf(t);
-        const int most = act.mostApproxOf(t);
+        // Budget-bounded like the scalar path: candidates beyond the
+        // node's quality slice are never considered.
+        const int most = effectiveMost(t);
         if (cur >= most)
             continue;
 

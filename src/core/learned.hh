@@ -159,6 +159,18 @@ class LearnedRuntime : public Runtime
      */
     double predictedMaxRatio(int t, int v, bool &known) const;
 
+    /**
+     * Deepest variant of task t the quality cap affords (its most
+     * approximate one when the cap is unlimited). The escalation
+     * paths search candidate variants only up to this bound; when it
+     * equals the current variant the task is budget-blocked and the
+     * controller falls through to core reclamation.
+     */
+    int effectiveMost(int t) const;
+
+    /** Summed current-variant inaccuracy of unfinished tasks. */
+    double qualityInUse() const;
+
     Decision escalate();
     Decision deescalate();
     Decision escalateVector();

@@ -138,10 +138,46 @@ PliantRuntime::onTaskRemoved(int idx)
     adjustCursorAfterRemoval(rrPointer, idx, act.taskCount());
 }
 
+double
+PliantRuntime::qualityInUse() const
+{
+    double in_use = 0.0;
+    for (int t = 0; t < act.taskCount(); ++t)
+        if (!act.taskFinished(t))
+            in_use += act.inaccuracyOf(t);
+    return in_use;
+}
+
+int
+PliantRuntime::affordableTarget(int t) const
+{
+    if (act.taskFinished(t))
+        return -1;
+    const int cur = act.variantOf(t);
+    const int most = act.mostApproxOf(t);
+    if (cur >= most)
+        return -1;
+    if (qualityCap < 0.0)
+        return most; // unlimited: the paper's jump-to-most
+    // The deepest variant whose *additional* inaccuracy still fits
+    // under the node's quality slice. Variants are ordered toward
+    // more approximation, so the scan stops at the first one that
+    // does not fit.
+    const double headroom = qualityCap - qualityInUse();
+    const double current = act.inaccuracyOf(t);
+    int target = -1;
+    for (int v = cur + 1; v <= most; ++v) {
+        if (act.inaccuracyAt(t, v) - current > headroom)
+            break;
+        target = v;
+    }
+    return target;
+}
+
 bool
 PliantRuntime::canEscalate(int t) const
 {
-    return !act.taskFinished(t) && act.variantOf(t) < act.mostApproxOf(t);
+    return affordableTarget(t) >= 0;
 }
 
 bool
@@ -150,6 +186,16 @@ PliantRuntime::canReclaim(int t) const
     // Only reclaim from fully-approximated, still-running tasks.
     return !act.taskFinished(t) &&
            act.variantOf(t) == act.mostApproxOf(t);
+}
+
+bool
+PliantRuntime::canReclaimAny(int t) const
+{
+    // Budget-blocked fallback: when the quality cap forbids the
+    // approximation that would normally precede core reclamation,
+    // any unfinished task is a donor (reclaimCore still refuses at
+    // the task's minimum).
+    return !act.taskFinished(t);
 }
 
 bool
@@ -202,10 +248,12 @@ PliantRuntime::pickEscalationTarget()
 }
 
 int
-PliantRuntime::pickReclaimTarget()
+PliantRuntime::pickReclaimTarget(bool relaxed)
 {
+    const auto eligible = relaxed ? &PliantRuntime::canReclaimAny
+                                  : &PliantRuntime::canReclaim;
     if (prm.arbiter == ArbiterKind::RoundRobin)
-        return nextTask(rrPointer, &PliantRuntime::canReclaim);
+        return nextTask(rrPointer, eligible);
 
     // Impact-aware: reclaim from the task currently exerting the
     // least relief potential (its approximation helped least, so its
@@ -213,7 +261,7 @@ PliantRuntime::pickReclaimTarget()
     int best = -1;
     double best_score = std::numeric_limits<double>::infinity();
     for (int t = 0; t < act.taskCount(); ++t) {
-        if (!canReclaim(t))
+        if (!(this->*eligible)(t))
             continue;
         const double score = act.reliefPotential(t);
         if (score < best_score) {
@@ -228,10 +276,12 @@ Decision
 PliantRuntime::actOnViolation()
 {
     // First line of defense: approximation. Any task not yet at its
-    // most approximate variant is escalated straight there.
+    // most approximate variant is escalated straight there — or, under
+    // a binding quality cap, to the deepest variant the node's budget
+    // slice affords.
     const int victim = pickEscalationTarget();
     if (victim >= 0) {
-        act.switchVariant(victim, act.mostApproxOf(victim));
+        act.switchVariant(victim, affordableTarget(victim));
         return {Decision::Kind::SwitchToMost, victim};
     }
 
@@ -246,7 +296,10 @@ PliantRuntime::actOnViolation()
     }
 
     // All tasks fully approximated: reclaim one core per interval.
-    const int donor = pickReclaimTarget();
+    // Under a binding quality cap "fully approximated" may be
+    // unreachable, so the budget-gated path relaxes the donor
+    // condition: cores are the lever the budget does not ration.
+    const int donor = pickReclaimTarget(/*relaxed=*/qualityCap >= 0.0);
     if (donor >= 0 && act.reclaimCore(donor))
         return {Decision::Kind::ReclaimCore, donor};
     return Decision{};

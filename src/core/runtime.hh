@@ -224,7 +224,25 @@ class Runtime
         return {};
     }
 
+    /**
+     * Budget hook: cap the summed current-variant inaccuracy of the
+     * runtime's unfinished tasks (the node's slice of a cluster-wide
+     * quality budget). Escalations that would push quality-in-use
+     * over the cap are gated to the deepest affordable variant (or
+     * blocked entirely); de-escalation is always allowed. Negative
+     * (the default) means unlimited — every gate is a no-op and
+     * behavior is byte-identical to the pre-budget runtime. Updated
+     * at cluster epoch barriers, between decision intervals.
+     */
+    void setQualityCap(double cap) { qualityCap = cap; }
+
+    /** The active quality cap (< 0: unlimited). */
+    double currentQualityCap() const { return qualityCap; }
+
     virtual std::string name() const = 0;
+
+  protected:
+    double qualityCap = -1.0;
 };
 
 /**
@@ -280,12 +298,24 @@ class PliantRuntime : public Runtime
 
     bool canEscalate(int t) const;
     bool canReclaim(int t) const;
+    bool canReclaimAny(int t) const;
     bool canReturn(int t) const;
     bool canStepDown(int t) const;
 
+    /**
+     * Deepest variant of task t the quality cap can afford (the most
+     * approximate one when the cap is unlimited), or -1 when no
+     * deeper variant fits. The escalation path jumps here instead of
+     * unconditionally to most-approximate.
+     */
+    int affordableTarget(int t) const;
+
+    /** Summed current-variant inaccuracy of unfinished tasks. */
+    double qualityInUse() const;
+
     /** Pick the victim for escalation under the configured arbiter. */
     int pickEscalationTarget();
-    int pickReclaimTarget();
+    int pickReclaimTarget(bool relaxed);
 
     Actuator &act;
     RuntimeParams prm;

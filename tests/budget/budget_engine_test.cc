@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Cluster-level budget subsystem tests, pinning the three load-bearing
+ * claims of the budget layer:
+ *
+ *  1. Budgets-disabled is byte-identical to the pre-budget cluster:
+ *     the 3-node QoS-aware + QosShed-admission experiment (with a
+ *     migration) reproduces the exact rollups captured at the commit
+ *     before src/budget/ landed.
+ *  2. The budget frontier: the Proportional and Learned splits
+ *     strictly dominate the independent-nodes baseline at the pinned
+ *     bench/fig_budget point — better worst-node QoS met% at an
+ *     equal or lower global quality loss.
+ *  3. Every split policy is deterministic: cluster worker threads
+ *     (1 vs 6) and per-engine lanes (1 vs 4) never change a single
+ *     bit of the result.
+ */
+
+#include "budget/budget.hh"
+#include "cluster/cluster.hh"
+#include "colo/trace.hh"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pliant;
+using namespace pliant::cluster;
+
+constexpr sim::Time kS = sim::kSecond;
+
+/** Relative tolerance: identical arithmetic, last-ulp libm slack. */
+constexpr double kRelTol = 1e-9;
+
+#define EXPECT_PINNED(actual, golden) \
+    EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol)
+
+/**
+ * The fig_cluster quick-mode QoS-aware config plus the QosShed
+ * admission front-end — exactly the golden_test cluster with
+ * admission on, the richest pre-budget configuration (placement
+ * migrations AND admission shedding both active).
+ */
+ClusterConfigBuilder
+admissionClusterBuilder()
+{
+    ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        if (n == 0)
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::flashCrowd(0.60, 0.95,
+                                                       30 * kS, 3 * kS,
+                                                       25 * kS,
+                                                       10 * kS));
+        else
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::constant(0.60));
+        builder.service(services::ServiceKind::Nginx,
+                        colo::Scenario::constant(0.65));
+    }
+    builder
+        .apps({"canneal", "bayesian", "snp", "kmeans", "raytrace",
+               "streamcluster"})
+        .runtime(core::RuntimeKind::Pliant)
+        .placement(PlacementKind::QosAware)
+        .admission(admission::AdmissionKind::QosShed,
+                   admission::BatchingKind::None)
+        .epoch(5 * kS)
+        .seed(71)
+        .maxDuration(90 * kS);
+    return builder;
+}
+
+/** The bench/fig_budget quick-mode config at the pinned point. */
+ClusterConfig
+figBudgetConfig(
+    const std::optional<budget::BudgetPolicy> &policy,
+    double quality_budget, double shed_budget)
+{
+    ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        if (n == 0)
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::flashCrowd(0.60, 1.30,
+                                                       30 * kS, 3 * kS,
+                                                       25 * kS,
+                                                       10 * kS));
+        else
+            builder.service(services::ServiceKind::Memcached,
+                            colo::Scenario::constant(0.60));
+        builder.service(services::ServiceKind::Nginx,
+                        colo::Scenario::constant(0.65));
+    }
+    builder
+        .apps({"canneal", "bayesian", "snp", "kmeans", "raytrace",
+               "streamcluster"})
+        .runtime(core::RuntimeKind::Pliant)
+        .placement(PlacementKind::QosAware)
+        .admission(admission::AdmissionKind::QosShed,
+                   admission::BatchingKind::None)
+        .epoch(5 * kS)
+        .seed(71)
+        .maxDuration(90 * kS);
+    if (policy)
+        builder.budget(*policy, quality_budget, shed_budget);
+    return builder.build();
+}
+
+/** Min over nodes of the node's mean service QoS met fraction. */
+double
+worstNodeMet(const ClusterResult &r)
+{
+    double worst = 1.0;
+    for (const auto &node : r.nodes) {
+        double met = 0.0;
+        for (const auto &svc : node.result.services)
+            met += svc.qosMetFraction;
+        met /= static_cast<double>(node.result.services.size());
+        worst = std::min(worst, met);
+    }
+    return worst;
+}
+
+TEST(BudgetGoldenTest, DisabledBudgetsPinToPreBudgetCluster)
+{
+    // Captured at the commit immediately before src/budget/ landed:
+    // any drift here means the disabled path is no longer inert.
+    const ClusterResult r =
+        Cluster(admissionClusterBuilder().build()).run();
+
+    EXPECT_FALSE(r.budgetEnabled);
+    EXPECT_PINNED(r.worstServiceRatio, 0.94315106906576962);
+    EXPECT_PINNED(r.meanQosMetFraction, 0.90078828828828839);
+    EXPECT_PINNED(r.meanInaccuracy, 0.022703064866738582);
+    EXPECT_PINNED(r.meanRelativeExecTime, 0.63834330206830214);
+    EXPECT_EQ(r.appsFinished, 6);
+    EXPECT_EQ(r.appsTotal, 6);
+    EXPECT_EQ(r.totalMaxCoresReclaimed, 4);
+
+    ASSERT_EQ(r.migrations.size(), 1u);
+    EXPECT_EQ(r.migrations[0].app, "streamcluster");
+    EXPECT_EQ(r.migrations[0].from, 2u);
+    EXPECT_EQ(r.migrations[0].to, 1u);
+    EXPECT_EQ(r.migrations[0].t, 10 * kS);
+
+    ASSERT_EQ(r.nodes.size(), 3u);
+    const auto &n0 = r.nodes[0].result;
+    EXPECT_PINNED(n0.services[0].meanIntervalP99Us,
+                  158.56512335677382);
+    EXPECT_PINNED(n0.services[0].qosMetFraction,
+                  0.90000000000000002);
+    EXPECT_PINNED(n0.services[0].shedFraction,
+                  0.054349772826573425);
+    EXPECT_PINNED(n0.services[0].meanQueueDelayUs,
+                  26.129114066660023);
+    EXPECT_PINNED(n0.services[1].meanIntervalP99Us,
+                  7782.8834517746718);
+    EXPECT_PINNED(n0.services[1].shedFraction,
+                  0.0046278587127722365);
+    const auto &n1 = r.nodes[1].result;
+    EXPECT_PINNED(n1.services[0].meanIntervalP99Us,
+                  138.23517933089479);
+    EXPECT_PINNED(n1.services[0].qosMetFraction,
+                  0.91891891891891897);
+    EXPECT_PINNED(n1.services[1].meanIntervalP99Us,
+                  9431.5106906576966);
+    EXPECT_PINNED(n1.services[1].qosMetFraction,
+                  0.81081081081081086);
+    const auto &n2 = r.nodes[2].result;
+    EXPECT_PINNED(n2.services[0].meanIntervalP99Us,
+                  132.10572927141823);
+    EXPECT_PINNED(n2.services[0].qosMetFraction,
+                  0.92500000000000004);
+    EXPECT_PINNED(n2.services[1].meanIntervalP99Us,
+                  7493.3410915270069);
+    EXPECT_PINNED(n2.services[1].qosMetFraction,
+                  0.94999999999999996);
+}
+
+TEST(BudgetFrontierTest, AdaptiveSplitsDominateIndependentNodes)
+{
+    // The pinned bench/fig_budget quick-mode point: quality budget
+    // 0.12, shed budget 1.5. Strict domination = better worst-node
+    // QoS met% at equal-or-lower global quality loss.
+    const ClusterResult base =
+        Cluster(figBudgetConfig(std::nullopt, 0.0, 0.0)).run();
+    const ClusterResult prop =
+        Cluster(figBudgetConfig(budget::BudgetPolicy::Proportional,
+                                0.12, 1.5))
+            .run();
+    const ClusterResult learned =
+        Cluster(figBudgetConfig(budget::BudgetPolicy::Learned, 0.12,
+                                1.5))
+            .run();
+
+    EXPECT_FALSE(base.budgetEnabled);
+    EXPECT_TRUE(prop.budgetEnabled);
+    EXPECT_EQ(prop.budgetPolicy, "proportional");
+    EXPECT_TRUE(learned.budgetEnabled);
+    EXPECT_EQ(learned.budgetPolicy, "learned");
+    EXPECT_GT(prop.budgetQualityUsed, 0.0);
+    EXPECT_GT(learned.budgetShedUsed, 0.0);
+
+    EXPECT_GT(worstNodeMet(prop), worstNodeMet(base));
+    EXPECT_LE(prop.meanInaccuracy, base.meanInaccuracy);
+    EXPECT_GT(worstNodeMet(learned), worstNodeMet(base));
+    EXPECT_LE(learned.meanInaccuracy, base.meanInaccuracy);
+}
+
+TEST(BudgetCsvTest, BudgetColumnsAppearOnlyWhenEnabled)
+{
+    const ClusterResult off =
+        Cluster(figBudgetConfig(std::nullopt, 0.0, 0.0)).run();
+    const ClusterResult on =
+        Cluster(figBudgetConfig(budget::BudgetPolicy::Proportional,
+                                0.12, 1.5))
+            .run();
+
+    std::ostringstream off_summary, on_summary, on_timeline;
+    colo::writeSummaryCsv(off_summary, off.nodes[0].result);
+    colo::writeSummaryCsv(on_summary, on.nodes[0].result);
+    colo::writeTimelineCsv(on_timeline, on.nodes[0].result);
+
+    EXPECT_EQ(off_summary.str().find("budget_quality_used"),
+              std::string::npos);
+    EXPECT_NE(on_summary.str().find("budget_quality_used"),
+              std::string::npos);
+    EXPECT_NE(on_summary.str().find("budget_shed_used"),
+              std::string::npos);
+    EXPECT_NE(on_summary.str().find("node_quality_slice"),
+              std::string::npos);
+    EXPECT_NE(on_timeline.str().find("node_shed_slice"),
+              std::string::npos);
+}
+
+/**
+ * Byte-identity across cluster worker threads and engine lanes, per
+ * split policy. Exact == comparisons: determinism is all-or-nothing.
+ */
+class BudgetDeterminismTest
+    : public ::testing::TestWithParam<budget::BudgetPolicy>
+{
+};
+
+TEST_P(BudgetDeterminismTest, ThreadAndLaneCountsNeverChangeBits)
+{
+    const auto run_with = [&](unsigned threads, unsigned lanes) {
+        ClusterConfig cfg =
+            figBudgetConfig(GetParam(), 0.12, 1.5);
+        cfg.threads = threads;
+        cfg.engineThreads = lanes;
+        return Cluster(cfg).run();
+    };
+
+    const ClusterResult ref = run_with(1, 1);
+    for (const auto &[threads, lanes] :
+         {std::pair<unsigned, unsigned>{6, 1}, {1, 4}, {6, 4}}) {
+        const ClusterResult r = run_with(threads, lanes);
+        EXPECT_EQ(r.worstServiceRatio, ref.worstServiceRatio);
+        EXPECT_EQ(r.meanQosMetFraction, ref.meanQosMetFraction);
+        EXPECT_EQ(r.meanInaccuracy, ref.meanInaccuracy);
+        EXPECT_EQ(r.meanRelativeExecTime, ref.meanRelativeExecTime);
+        EXPECT_EQ(r.budgetQualityUsed, ref.budgetQualityUsed);
+        EXPECT_EQ(r.budgetShedUsed, ref.budgetShedUsed);
+        EXPECT_EQ(r.migrations.size(), ref.migrations.size());
+        ASSERT_EQ(r.nodes.size(), ref.nodes.size());
+        for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+            const auto &a = r.nodes[n].result;
+            const auto &b = ref.nodes[n].result;
+            ASSERT_EQ(a.services.size(), b.services.size());
+            for (std::size_t s = 0; s < a.services.size(); ++s) {
+                EXPECT_EQ(a.services[s].meanIntervalP99Us,
+                          b.services[s].meanIntervalP99Us);
+                EXPECT_EQ(a.services[s].qosMetFraction,
+                          b.services[s].qosMetFraction);
+                EXPECT_EQ(a.services[s].shedFraction,
+                          b.services[s].shedFraction);
+            }
+            EXPECT_EQ(a.budgetQualityUsed, b.budgetQualityUsed);
+            EXPECT_EQ(a.budgetShedUsed, b.budgetShedUsed);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, BudgetDeterminismTest,
+    ::testing::Values(budget::BudgetPolicy::Uniform,
+                      budget::BudgetPolicy::Proportional,
+                      budget::BudgetPolicy::Learned),
+    [](const ::testing::TestParamInfo<budget::BudgetPolicy> &info) {
+        return budget::policyName(info.param);
+    });
+
+} // namespace

@@ -12,6 +12,7 @@
  * build and construct their Engine/Cluster without throwing.
  */
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 
 #include "admission/admission.hh"
 #include "approx/profile.hh"
+#include "budget/budget.hh"
 #include "cluster/cluster.hh"
 #include "colo/builder.hh"
 #include "util/logging.hh"
@@ -87,6 +89,33 @@ invalidAdmissionDraw(util::SplitMix64 &sm)
         break;
       default:
         cfg.dispatchUtilization = sm.next() % 2 == 0
+            ? 0.0
+            : 1.0 + static_cast<double>(1 + sm.next() % 50) / 100.0;
+        break;
+    }
+    return cfg;
+}
+
+/**
+ * A randomly-invalid (enabled) budget config: exactly one field
+ * driven out of range, everything else default.
+ */
+budget::BudgetConfig
+invalidBudgetDraw(util::SplitMix64 &sm)
+{
+    budget::BudgetConfig cfg;
+    cfg.enabled = true;
+    switch (sm.next() % 3) {
+      case 0:
+        cfg.qualityBudget =
+            -static_cast<double>(1 + sm.next() % 100) / 100.0;
+        break;
+      case 1:
+        cfg.shedBudget =
+            -static_cast<double>(1 + sm.next() % 100) / 100.0;
+        break;
+      default:
+        cfg.alpha = sm.next() % 2 == 0
             ? 0.0
             : 1.0 + static_cast<double>(1 + sm.next() % 50) / 100.0;
         break;
@@ -203,9 +232,9 @@ TEST(BuilderPropertyTest, RandomInvalidClusterConfigsThrowAtBuildTime)
     util::SplitMix64 sm(0xC1BADu);
     for (int iter = 0; iter < 120; ++iter) {
         cluster::ClusterConfigBuilder builder;
-        const auto kind = sm.next() % 8;
+        const auto kind = sm.next() % 10;
         // Most classes need a well-formed base cluster first.
-        if (kind != 0 && kind != 1) {
+        if (kind != 0 && kind != 1 && kind != 9) {
             builder.nodes(1 + sm.next() % 3);
             builder.serviceOnAll(services::ServiceKind::Memcached,
                                  colo::Scenario::constant(
@@ -272,9 +301,25 @@ TEST(BuilderPropertyTest, RandomInvalidClusterConfigsThrowAtBuildTime)
                             static_cast<int>(sm.next() % 4));
             break;
           }
-          default: { // out-of-range admission field
+          case 7: { // out-of-range admission field
             builder.apps(pickApps(sm, 1));
             builder.admission(invalidAdmissionDraw(sm));
+            break;
+          }
+          case 8: { // out-of-range budget field
+            builder.apps(pickApps(sm, 1));
+            builder.budget(invalidBudgetDraw(sm));
+            break;
+          }
+          default: { // budget without a cluster (single node)
+            builder.node("solo").service(
+                services::ServiceKind::Memcached,
+                colo::Scenario::constant(loadDraw(sm)));
+            builder.apps(pickApps(sm, 1));
+            builder.budget(
+                static_cast<budget::BudgetPolicy>(sm.next() % 3),
+                static_cast<double>(sm.next() % 100) / 100.0,
+                static_cast<double>(sm.next() % 100) / 100.0);
             break;
           }
         }
@@ -290,7 +335,8 @@ TEST(BuilderPropertyTest, RandomValidClusterConfigsBuildAndConstruct)
     util::SplitMix64 sm(0xC1600Du);
     for (int iter = 0; iter < 12; ++iter) {
         cluster::ClusterConfigBuilder builder;
-        builder.nodes(1 + sm.next() % 3);
+        const std::size_t node_count = 1 + sm.next() % 3;
+        builder.nodes(node_count);
         builder.serviceOnAll(services::ServiceKind::Memcached,
                              colo::Scenario::constant(loadDraw(sm)));
         builder.apps(pickApps(sm, 1 + sm.next() % 4))
@@ -302,11 +348,59 @@ TEST(BuilderPropertyTest, RandomValidClusterConfigsBuildAndConstruct)
             builder.admission(
                 static_cast<admission::AdmissionKind>(sm.next() % 4),
                 static_cast<admission::BatchingKind>(sm.next() % 3));
+        // Budgets are a cluster feature: only valid with >= 2 nodes.
+        if (node_count >= 2 && sm.next() % 2 == 0)
+            builder.budget(
+                static_cast<budget::BudgetPolicy>(sm.next() % 3),
+                static_cast<double>(sm.next() % 200) / 100.0,
+                static_cast<double>(sm.next() % 300) / 100.0);
         cluster::ClusterConfig cfg;
         ASSERT_NO_THROW(cfg = builder.build())
             << "iteration " << iter;
         ASSERT_NO_THROW(cluster::Cluster cl(cfg))
             << "iteration " << iter;
+    }
+}
+
+TEST(BuilderPropertyTest, RandomBudgetPolicyTyposThrow)
+{
+    // Every valid name parses; every mutation of one (and every
+    // random alphanumeric string) is a FatalError, never a silent
+    // fallback policy.
+    for (auto policy :
+         {budget::BudgetPolicy::Uniform,
+          budget::BudgetPolicy::Proportional,
+          budget::BudgetPolicy::Learned})
+        EXPECT_EQ(budget::parsePolicy(budget::policyName(policy)),
+                  policy);
+
+    util::SplitMix64 sm(0xB06E7u);
+    const std::vector<std::string> names = {"uniform", "proportional",
+                                            "learned"};
+    for (int iter = 0; iter < 60; ++iter) {
+        std::string typo = names[sm.next() % names.size()];
+        switch (sm.next() % 4) {
+          case 0: // drop a character
+            typo.erase(sm.next() % typo.size(), 1);
+            break;
+          case 1: // mutate a character
+            typo[sm.next() % typo.size()] =
+                static_cast<char>('a' + sm.next() % 26);
+            break;
+          case 2: // wrong case on a character
+            typo[sm.next() % typo.size()] = static_cast<char>(
+                std::toupper(typo[sm.next() % typo.size()]));
+            break;
+          default: // trailing garbage
+            typo += static_cast<char>('a' + sm.next() % 26);
+            break;
+        }
+        if (typo == "uniform" || typo == "proportional" ||
+            typo == "learned")
+            continue; // the mutation happened to be a no-op
+        EXPECT_THROW(budget::parsePolicy(typo), util::FatalError)
+            << "typo '" << typo << "' (iteration " << iter
+            << ") must not parse";
     }
 }
 
