@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Diff a fresh perf_tick JSON against the committed reference.
+"""Diff a fresh bench JSON against the committed reference.
 
-Fails (exit 1) on schema drift: top-level keys, the per-config key
-set, the config roster/order, or any deterministic simulation field
-(ticks, engine_threads, fast_sampling) changing. Wall-clock fields
-(wall_s, ticks_per_sec, speedup_vs_1t) are noisy on shared runners,
-so they only produce a warning line showing the ratio — the perf
-trajectory artifact is where timing history lives.
+Works for any bench that writes the shared row shape (perf_tick,
+fig_scale). Fails (exit 1) on schema drift: top-level keys, the
+per-config key set, the config roster/order, or any deterministic
+simulation field changing — for fig_scale that includes the cluster
+rollups (steady_p99_us, worst_ratio) and the thread-invariance bit
+(identical_to_serial), which are pure simulation outputs and must
+not move between machines. Wall-clock fields (wall_s,
+ticks_per_sec, speedup_vs_1t, peak_rss_mb) are noisy on shared
+runners, so they only produce a warning line showing the ratio —
+the perf trajectory artifact is where timing history lives.
 
 Usage: check_bench_schema.py <committed.json> <fresh.json>
 """
@@ -14,8 +18,23 @@ Usage: check_bench_schema.py <committed.json> <fresh.json>
 import json
 import sys
 
-WALL_CLOCK_FIELDS = {"wall_s", "ticks_per_sec", "speedup_vs_1t"}
-DETERMINISTIC_FIELDS = {"ticks", "engine_threads", "fast_sampling"}
+WALL_CLOCK_FIELDS = {
+    "wall_s",
+    "ticks_per_sec",
+    "speedup_vs_1t",
+    "peak_rss_mb",
+}
+DETERMINISTIC_FIELDS = {
+    "ticks",
+    "engine_threads",
+    "fast_sampling",
+    "nodes",
+    "tenants",
+    "pool_threads",
+    "steady_p99_us",
+    "worst_ratio",
+    "identical_to_serial",
+}
 
 
 def fail(msg):
@@ -64,7 +83,8 @@ def main():
             print(f"warn-only: '{name}' {field} ratio vs committed "
                   f"= {ratio:.2f}{flag}")
 
-    print("BENCH_tick schema matches the committed reference.")
+    print(f"{committed['bench']} schema matches the committed "
+          f"reference.")
 
 
 if __name__ == "__main__":

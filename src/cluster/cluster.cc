@@ -124,6 +124,7 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         nc.admission = cfg.admission;
         nc.engineThreads = cfg.engineThreads;
         nc.fastSampling = cfg.fastSampling;
+        nc.retainTimeline = cfg.retainTimeline;
         nc.seed = nodeSeed(cfg.seed, i);
         for (std::size_t a = 0; a < cfg.apps.size(); ++a) {
             if (assignment[a] != i)
@@ -288,13 +289,22 @@ Cluster::run()
             break;
 
         // Placement and budgeting act at the barrier, on one thread.
-        // Both read the same status snapshot; budgets are re-split
-        // after migrations so slices track the post-move node state.
+        // Placement reads the pre-move snapshot; if any migration
+        // landed, the budget split must see the post-move rosters —
+        // reusing the stale snapshot left both nodes on caps derived
+        // for apps they no longer (or newly) host until the next
+        // barrier. No migration means the snapshot is still exact,
+        // so migration-free runs stay byte-identical.
         const std::vector<NodeStatus> statuses = gatherStatuses();
+        const std::size_t moves_before = out.migrations.size();
         for (const auto &decision : policy->rebalance(statuses, t))
             applyMigration(decision, t, out);
-        if (budgeter)
-            allocateBudget(statuses);
+        if (budgeter) {
+            if (out.migrations.size() > moves_before)
+                allocateBudget(gatherStatuses());
+            else
+                allocateBudget(statuses);
+        }
     }
 
     out.nodes.reserve(engines.size());
@@ -311,6 +321,11 @@ Cluster::run()
     std::size_t met_n = 0;
     double inacc = 0.0, rel = 0.0;
     int finished = 0, total = 0, cores = 0;
+    // Cluster-wide steady-state p99: fold every tenant's P² sketch
+    // in (node, service) order on this thread. The fixed fold order
+    // is the determinism contract of P2Quantile::merge — the result
+    // is byte-identical at any pool thread or engine lane count.
+    util::P2Quantile steady_all{0.99};
     for (const auto &nr : out.nodes) {
         for (const auto &svc : nr.result.services) {
             const double ratio = svc.qosUs > 0.0
@@ -319,6 +334,7 @@ Cluster::run()
             worst_ratio = std::max(worst_ratio, ratio);
             met_sum += svc.qosMetFraction;
             ++met_n;
+            steady_all.merge(svc.steadySketch);
         }
         for (const auto &app : nr.result.apps) {
             inacc += app.inaccuracy;
@@ -331,6 +347,7 @@ Cluster::run()
     }
     out.runtime = out.nodes[0].result.runtime;
     out.worstServiceRatio = worst_ratio;
+    out.steadyP99Us = steady_all.value();
     out.meanQosMetFraction =
         met_n ? met_sum / static_cast<double>(met_n) : 0.0;
     out.meanInaccuracy =
@@ -625,6 +642,13 @@ ClusterConfigBuilder &
 ClusterConfigBuilder::fastSampling(bool enable)
 {
     cfg.fastSampling = enable;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::retainTimeline(bool enable)
+{
+    cfg.retainTimeline = enable;
     return *this;
 }
 

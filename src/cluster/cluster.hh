@@ -121,6 +121,16 @@ struct ClusterConfig
      * for golden-pinned runs.
      */
     bool fastSampling = false;
+
+    /**
+     * Keep every node's per-tick TimePoint series (see
+     * colo::ColoConfig::retainTimeline). Clusters default OFF —
+     * at 1000 nodes the retained series is the binding memory
+     * constraint — and every summary/rollup is identical either way
+     * because nodes accumulate them online. Turn on for per-tick CSV
+     * export or timeline-level debugging.
+     */
+    bool retainTimeline = false;
 };
 
 /**
@@ -159,6 +169,14 @@ struct ClusterResult
 
     /** Worst mean-interval p99/QoS ratio over every service. */
     double worstServiceRatio = 0.0;
+
+    /**
+     * Cluster-wide steady-state p99 (µs): every tenant's post-warmup
+     * P² sketch merged in (node, service) order — the fixed fold
+     * order that keeps the estimate byte-identical at any pool
+     * thread or engine lane count (see util::P2Quantile::merge).
+     */
+    double steadyP99Us = 0.0;
 
     /** Mean of qosMetFraction over every service on every node. */
     double meanQosMetFraction = 0.0;
@@ -278,6 +296,9 @@ class ClusterConfigBuilder
 
     /** Table-driven samplers on every node (NOT byte-identical). */
     ClusterConfigBuilder &fastSampling(bool enable = true);
+
+    /** Retain per-tick series on every node (default off). */
+    ClusterConfigBuilder &retainTimeline(bool enable = true);
 
     /** Validate and return the config (throws util::FatalError). */
     ClusterConfig build() const;

@@ -19,6 +19,14 @@ tenantSalt(std::size_t i)
     return static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
 }
 
+/**
+ * Control-loop warmup: rollups that report steady-state behavior
+ * (mean interval p99, budget usage means, typical reclaim) skip
+ * intervals at or before this time, falling back to the whole run
+ * when nothing lies beyond it.
+ */
+constexpr sim::Time kWarmup = 5 * sim::kSecond;
+
 } // namespace
 
 /**
@@ -364,6 +372,7 @@ Engine::Engine(ColoConfig config)
     svcPressure.resize(tenants.size());
     inflationBuf.assign(tenants.size(), 1.0);
     reports.resize(tenants.size());
+    svcAccum.resize(tenants.size());
 
     // The per-tick tenant team (width 1 = inline, no threads) and
     // one scratch arena per lane, sized so a tenant's peer-pressure
@@ -395,6 +404,22 @@ Engine::recordRoster()
     for (const auto &prof : profiles)
         ev.apps.push_back(prof->name);
     partial.rosterChanges.push_back(std::move(ev));
+    if (sink)
+        sink->onRoster(partial.rosterChanges.back());
+}
+
+void
+Engine::setTimelineSink(TimelineSink *new_sink)
+{
+    sink = new_sink;
+    if (!sink)
+        return;
+    // Replay history so a sink attached after construction (or after
+    // early roster churn) still sees every roster event that shaped
+    // the run. Points are not replayed: attach the sink before
+    // advancing the clock to observe the full series.
+    for (const RosterEvent &ev : partial.rosterChanges)
+        sink->onRoster(ev);
 }
 
 Engine::~Engine() = default;
@@ -455,7 +480,7 @@ bool
 Engine::advanceUntil(sim::Time until, bool keep_services_running)
 {
     const sim::Time stop = std::min(until, cfg.maxDuration);
-    const sim::Time warmup = 5 * sim::kSecond;
+    const sim::Time warmup = kWarmup;
 
     // An idle-at-entry node (no unfinished apps) only advances in
     // keep-services mode; a node whose apps finish mid-call always
@@ -618,14 +643,54 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                 tp.budgetQualityCap = qualitySliceCap;
                 tp.budgetShedCap = shedSliceCap;
             }
+            int total_reclaimed = 0;
             for (std::size_t i = 0; i < tasks.size(); ++i) {
                 tp.variantOf.push_back(tasks[i].variantIndex());
                 const int reclaimed =
                     tasks[i].fairCores() - tasks[i].cores();
                 tp.reclaimed.push_back(reclaimed);
                 maxReclaimed[i] = std::max(maxReclaimed[i], reclaimed);
+                total_reclaimed += reclaimed;
             }
-            partial.timeline.push_back(std::move(tp));
+
+            // Online rollups: every summary finalize() reports is
+            // accumulated here, in interval order, with the same
+            // plain chronological sums the old retained-timeline scan
+            // used, so the summaries are byte-identical whether or
+            // not the per-tick series itself is kept.
+            const bool post_warmup = now > kWarmup;
+            for (std::size_t s = 0; s < tenants.size(); ++s) {
+                SvcAccum &acc = svcAccum[s];
+                const double p99 = tp.services[s].p99Us;
+                acc.sumP99All += p99;
+                ++acc.nAll;
+                if (post_warmup) {
+                    acc.sumP99Post += p99;
+                    ++acc.nPost;
+                    acc.post.add(p99);
+                }
+            }
+            maxTotalReclaimed =
+                std::max(maxTotalReclaimed, total_reclaimed);
+            if (post_warmup)
+                reclaimTotalsPost.add(total_reclaimed);
+            // Budget fields are zero when no slice is active, exactly
+            // as in the retained TimePoint, so the sums stay in step
+            // with the old unconditional timeline scan.
+            budgetQualitySumAll += tp.budgetQualityUsed;
+            budgetShedSumAll += tp.budgetShedUsed;
+            ++budgetNAll;
+            if (post_warmup) {
+                budgetQualitySumPost += tp.budgetQualityUsed;
+                budgetShedSumPost += tp.budgetShedUsed;
+                ++budgetNPost;
+            }
+            maxWaysSeen = std::max(maxWaysSeen, tp.partitionWays);
+
+            if (sink)
+                sink->onPoint(tp);
+            if (cfg.retainTimeline)
+                partial.timeline.push_back(std::move(tp));
         }
     }
     return done();
@@ -729,9 +794,15 @@ Engine::finalize()
         util::panic("Engine::finalize() called twice");
     finalized = true;
     ColoResult result = std::move(partial);
-    const sim::Time warmup = 5 * sim::kSecond;
     const int total_intervals = totalIntervals;
     const std::vector<int> &max_reclaimed = maxReclaimed;
+
+    // Every summary below reads the online accumulators filled at
+    // interval close, never the retained timeline, so streaming runs
+    // (retainTimeline = false) report exactly the same numbers: the
+    // accumulators use the same plain chronological sums the old
+    // timeline scans did, with the same whole-run fallback when no
+    // interval lands past the warmup window.
 
     // Per-service summaries; [0] mirrors into the scalar fields.
     for (std::size_t s = 0; s < tenants.size(); ++s) {
@@ -741,6 +812,8 @@ Engine::finalize()
         out.qosUs = ten.service->qosUs();
         out.overallP99Us = ten.monitor->longRunP99();
         out.steadyP99Us = ten.steady.value();
+        out.steadySketch = ten.steady;
+        out.intervalP99Stats = svcAccum[s].post;
         if (ten.admission) {
             const admission::AdmissionStats life =
                 ten.admission->lifetime();
@@ -749,21 +822,11 @@ Engine::finalize()
             out.meanBatchSize = life.meanBatchSize;
         }
 
-        double sum_p99 = 0.0;
-        std::size_t n_intervals = 0;
-        for (const auto &tp : result.timeline) {
-            if (tp.t <= warmup)
-                continue; // control loop still converging
-            sum_p99 += tp.services[s].p99Us;
-            ++n_intervals;
-        }
-        // Fall back to the full timeline for very short runs.
-        if (n_intervals == 0) {
-            for (const auto &tp : result.timeline) {
-                sum_p99 += tp.services[s].p99Us;
-                ++n_intervals;
-            }
-        }
+        const SvcAccum &acc = svcAccum[s];
+        const double sum_p99 =
+            acc.nPost > 0 ? acc.sumP99Post : acc.sumP99All;
+        const std::size_t n_intervals =
+            acc.nPost > 0 ? acc.nPost : acc.nAll;
         out.meanIntervalP99Us = n_intervals == 0
             ? 0.0
             : sum_p99 / static_cast<double>(n_intervals);
@@ -778,38 +841,18 @@ Engine::finalize()
     result.meanIntervalP99Us = result.services[0].meanIntervalP99Us;
     result.qosMetFraction = result.services[0].qosMetFraction;
 
-    int max_total = 0;
-    std::vector<double> totals_post_warmup;
-    for (const auto &tp : result.timeline) {
-        int total = 0;
-        for (int r : tp.reclaimed)
-            total += r;
-        max_total = std::max(max_total, total);
-        if (tp.t > warmup)
-            totals_post_warmup.push_back(total);
-    }
-    result.maxCoresReclaimedTotal = max_total;
-    result.approximationAloneSufficed = max_total == 0;
+    result.maxCoresReclaimedTotal = maxTotalReclaimed;
+    result.approximationAloneSufficed = maxTotalReclaimed == 0;
     if (result.budgetEnabled) {
         // Budget rollups: post-warmup means of the interval samples
-        // (full-timeline fallback for very short runs, mirroring the
+        // (whole-run fallback for very short runs, mirroring the
         // per-service p99 means), plus the caps in force at the end.
-        double q_sum = 0.0, s_sum = 0.0;
-        std::size_t n_budget = 0;
-        for (const auto &tp : result.timeline) {
-            if (tp.t <= warmup)
-                continue;
-            q_sum += tp.budgetQualityUsed;
-            s_sum += tp.budgetShedUsed;
-            ++n_budget;
-        }
-        if (n_budget == 0) {
-            for (const auto &tp : result.timeline) {
-                q_sum += tp.budgetQualityUsed;
-                s_sum += tp.budgetShedUsed;
-                ++n_budget;
-            }
-        }
+        const double q_sum = budgetNPost > 0 ? budgetQualitySumPost
+                                             : budgetQualitySumAll;
+        const double s_sum =
+            budgetNPost > 0 ? budgetShedSumPost : budgetShedSumAll;
+        const std::size_t n_budget =
+            budgetNPost > 0 ? budgetNPost : budgetNAll;
         if (n_budget > 0) {
             result.budgetQualityUsed =
                 q_sum / static_cast<double>(n_budget);
@@ -819,16 +862,11 @@ Engine::finalize()
         result.budgetQualityCap = qualitySliceCap;
         result.budgetShedCap = shedSliceCap;
     }
-    for (const auto &tp : result.timeline)
-        result.maxPartitionWays =
-            std::max(result.maxPartitionWays, tp.partitionWays);
-    if (!totals_post_warmup.empty()) {
-        util::PercentileWindow pw;
-        for (double t : totals_post_warmup)
-            pw.add(t);
-        result.typicalCoresReclaimed =
-            static_cast<int>(std::lround(pw.percentile(60.0)));
-    }
+    result.maxPartitionWays =
+        std::max(result.maxPartitionWays, maxWaysSeen);
+    if (reclaimTotalsPost.count() > 0)
+        result.typicalCoresReclaimed = static_cast<int>(
+            std::lround(reclaimTotalsPost.percentile(60.0)));
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         AppOutcome out;

@@ -167,6 +167,20 @@ struct ColoConfig
      * moment tests pin its distributional accuracy instead.
      */
     bool fastSampling = false;
+
+    /**
+     * Keep the full per-interval TimePoint series in
+     * ColoResult::timeline. Every scalar rollup is accumulated
+     * online during the run in either mode (same values, same
+     * arithmetic order — byte-identical results), so retention is
+     * purely about whether the series itself is available afterwards
+     * (timeline CSV replay, per-point tests). Single-node and figure
+     * paths default on; the cluster layer defaults its nodes off
+     * (ClusterConfig::retainTimeline), which is what lets 1000-node
+     * sweeps fit in memory. Roster events are always retained — they
+     * are O(migrations), not O(intervals).
+     */
+    bool retainTimeline = true;
 };
 
 /** One service's slice of a sampled timeline point. */
@@ -225,6 +239,17 @@ struct ServiceOutcome
     double steadyP99Us = 0.0;
     double meanIntervalP99Us = 0.0;
     double qosMetFraction = 0.0;
+
+    /**
+     * Streaming rollups carried for cross-node aggregation (the CSV
+     * writers ignore them, so adding them moved no golden byte):
+     * Welford stats over the post-warmup per-interval p99 estimates,
+     * and the service's whole-run steady-state P² sketch, mergeable
+     * across nodes/shards via P2Quantile::merge() in a fixed
+     * node-order fold (steadyP99Us is this sketch's value()).
+     */
+    util::RunningStats intervalP99Stats;
+    util::P2Quantile steadySketch{0.99};
 
     /**
      * Whole-run admission rollups (neutral when the front-end is
@@ -329,6 +354,32 @@ struct ColoResult
 };
 
 /**
+ * Streaming consumer of the engine's per-interval series: attach one
+ * via Engine::setTimelineSink() to receive every TimePoint (and every
+ * roster change) as it is produced, instead of replaying a retained
+ * ColoResult::timeline afterwards — the incremental-CSV path that
+ * makes per-tick retention optional.
+ *
+ * Delivery contract (matches the retained-replay semantics exactly):
+ * onRoster() fires for each app-roster snapshot, onPoint() for each
+ * closed decision interval, in simulated-time order. A roster event
+ * at time t arrives AFTER the point at time t (points are recorded
+ * before the epoch barrier that migrates), so a point is positional
+ * over the latest roster with `event.t < point.t`. Attaching a sink
+ * replays the roster events recorded so far (normally just the
+ * initial roster from the constructor), so attach-then-run sees the
+ * full stream. Callbacks run on the engine's tick thread; the sink
+ * must not touch the engine reentrantly.
+ */
+class TimelineSink
+{
+  public:
+    virtual ~TimelineSink() = default;
+    virtual void onRoster(const RosterEvent &ev) = 0;
+    virtual void onPoint(const TimePoint &tp) = 0;
+};
+
+/**
  * Validate an app list and its optional parallel initial-variant
  * list against the catalog: duplicates, unknown names, and
  * out-of-range variant indices all throw util::FatalError. Shared
@@ -419,6 +470,16 @@ class Engine
      * before approximating further.
      */
     std::vector<core::ServiceRelief> reliefPredictions() const;
+
+    /**
+     * Attach a streaming consumer of the per-interval series (null
+     * detaches). Non-owning; the sink must outlive the run. Already-
+     * recorded roster events are replayed immediately so a sink
+     * attached between construction and the first advanceUntil()
+     * observes the complete stream. Independent of
+     * cfg.retainTimeline: a sink streams either way.
+     */
+    void setTimelineSink(TimelineSink *sink);
 
     /**
      * Budget hook: install this node's slice of the cluster-wide
@@ -513,6 +574,23 @@ class Engine
     bool allFinished() const;
     void recordRoster();
 
+    /**
+     * Online rollup state for one interactive tenant, updated at
+     * every interval close. Plain chronological sums (not Welford)
+     * for the mean fields, in exactly the order the old
+     * finalize()-time timeline scan added them, so streaming and
+     * retained runs produce bit-identical results.
+     */
+    struct SvcAccum
+    {
+        double sumP99Post = 0.0; ///< post-warmup interval p99 sum
+        std::size_t nPost = 0;
+        double sumP99All = 0.0; ///< whole-run fallback sum
+        std::size_t nAll = 0;
+        /** Post-warmup interval p99 distribution (new rollup). */
+        util::RunningStats post;
+    };
+
     ColoConfig cfg;
     std::vector<Tenant> tenants;
     /**
@@ -539,6 +617,28 @@ class Engine
     double shedSliceCap = -1.0;
     /** Per-task max cores reclaimed (parallel to `tasks`). */
     std::vector<int> maxReclaimed;
+    /** Per-tenant streaming rollups (parallel to `tenants`). */
+    std::vector<SvcAccum> svcAccum;
+    /** Running max of per-interval total reclaimed cores. */
+    int maxTotalReclaimed = 0;
+    /**
+     * Post-warmup per-interval reclaimed totals — kept exactly (one
+     * double per interval, the only O(intervals) state in streaming
+     * mode) because typicalCoresReclaimed is a golden-pinned exact
+     * 60th percentile, not a sketch.
+     */
+    util::PercentileWindow reclaimTotalsPost;
+    /** Budget usage sums (same post/all split as SvcAccum). */
+    double budgetQualitySumPost = 0.0;
+    double budgetShedSumPost = 0.0;
+    std::size_t budgetNPost = 0;
+    double budgetQualitySumAll = 0.0;
+    double budgetShedSumAll = 0.0;
+    std::size_t budgetNAll = 0;
+    /** Running max of LLC ways isolated for the services. */
+    int maxWaysSeen = 0;
+    /** Streaming consumer (non-owning; null = none). */
+    TimelineSink *sink = nullptr;
     /** Hot-loop buffers, allocated once (see run loop comment). */
     std::vector<approx::PressureVector> taskPressure;
     std::vector<approx::PressureVector> svcPressure;

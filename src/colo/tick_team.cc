@@ -17,23 +17,45 @@ namespace {
 constexpr int kSpinIters = 256;
 constexpr int kYieldIters = 64;
 
+/**
+ * Helper lanes alive across every team in the process. A cluster
+ * constructs one team per engine, so a 1000-node run at 4 lanes
+ * keeps 3000 helpers parked; spinning/yielding before the park is
+ * pure scheduler thrash once the lane count exceeds the machine.
+ */
+std::atomic<unsigned> g_live_helpers{0};
+
+/** True when active lanes outnumber hardware threads. */
+bool
+oversubscribed()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    // hardware_concurrency() may legitimately return 0 (unknown);
+    // keep the spin in that case — parking early is the pessimistic
+    // path and should only be taken on positive evidence.
+    return hw != 0 &&
+        g_live_helpers.load(std::memory_order_relaxed) + 1 > hw;
+}
+
 } // namespace
 
 template <typename Word, typename Pred>
 void
 TickTeam::spinThenWait(std::atomic<Word> &word, Pred &&done)
 {
-    for (int i = 0; i < kSpinIters; ++i) {
-        if (done(word.load(std::memory_order_acquire)))
-            return;
+    if (!oversubscribed()) {
+        for (int i = 0; i < kSpinIters; ++i) {
+            if (done(word.load(std::memory_order_acquire)))
+                return;
 #if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
+            __builtin_ia32_pause();
 #endif
-    }
-    for (int i = 0; i < kYieldIters; ++i) {
-        if (done(word.load(std::memory_order_acquire)))
-            return;
-        std::this_thread::yield();
+        }
+        for (int i = 0; i < kYieldIters; ++i) {
+            if (done(word.load(std::memory_order_acquire)))
+                return;
+            std::this_thread::yield();
+        }
     }
     for (;;) {
         // Park until the word moves past `cur`. The value handed to
@@ -54,6 +76,7 @@ TickTeam::TickTeam(unsigned width)
         util::fatal("TickTeam width ", width,
                     " exceeds the 512-lane sanity cap");
     workers.reserve(lanes - 1);
+    g_live_helpers.fetch_add(lanes - 1, std::memory_order_relaxed);
     try {
         for (unsigned lane = 1; lane < lanes; ++lane)
             workers.emplace_back(
@@ -64,6 +87,8 @@ TickTeam::TickTeam(unsigned width)
         generation.notify_all();
         for (auto &w : workers)
             w.join();
+        g_live_helpers.fetch_sub(lanes - 1,
+                                 std::memory_order_relaxed);
         throw;
     }
 }
@@ -75,6 +100,7 @@ TickTeam::~TickTeam()
     generation.notify_all();
     for (auto &w : workers)
         w.join();
+    g_live_helpers.fetch_sub(lanes - 1, std::memory_order_relaxed);
 }
 
 void
@@ -111,10 +137,10 @@ TickTeam::launchAndWait()
 void
 TickTeam::workerLoop(unsigned lane)
 {
-    std::uint64_t seen = 0;
+    std::uint32_t seen = 0;
     for (;;) {
         spinThenWait(generation,
-                     [seen](std::uint64_t v) { return v != seen; });
+                     [seen](std::uint32_t v) { return v != seen; });
         seen = generation.load(std::memory_order_acquire);
         if (stopping.load(std::memory_order_acquire))
             return;

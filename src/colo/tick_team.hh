@@ -107,8 +107,17 @@ class TickTeam
     std::vector<std::exception_ptr> errors;
 
     // --- barrier state ---
-    /** Bumped once per run(); workers park on its previous value. */
-    std::atomic<std::uint64_t> generation{0};
+    /**
+     * Bumped once per run(); workers park on its previous value.
+     * Deliberately 32-bit: libstdc++ can only futex-wait natively on
+     * int-sized atomics — a wider word falls back to a small global
+     * proxy-waiter table shared by every atomic in the process, so
+     * each notify_all() would wake every parked lane of every team
+     * that hashes to the same slot (quadratic wake storms on
+     * many-engine clusters). Wraparound is harmless: workers compare
+     * against the last value they saw, not for ordering.
+     */
+    std::atomic<std::uint32_t> generation{0};
     /** Lanes still inside the current run(); 0 = barrier reached. */
     std::atomic<unsigned> pending{0};
     std::atomic<bool> stopping{false};

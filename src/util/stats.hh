@@ -244,6 +244,80 @@ class P2Quantile
         ++count_;
     }
 
+    /**
+     * Merge another estimator targeting the same quantile into this
+     * one — the cross-lane / cross-node reduction the streaming
+     * rollup layer needs (a single P2Quantile fed from one stream is
+     * NOT equivalent to merging per-shard sketches; this is a
+     * deterministic sketch-of-sketches).
+     *
+     * Marker combination: the outer markers (running min/max) merge
+     * exactly; the interior markers combine as count-weighted means,
+     * and the marker positions/desired positions are rebuilt from
+     * the P² ideal positions for the combined count. Because
+     * min/max and count-weighted sums re-associate exactly in real
+     * arithmetic, any fold order over the same shard set agrees to
+     * ~1e-15 relative — but NOT bit-exactly, so reductions that feed
+     * golden-pinned outputs must fold in a fixed order (ascending
+     * tenant/node index, the PR 7 tenant-order reduction pattern) on
+     * one thread. Sides still in the raw-sample stage (< 5
+     * observations) are replayed sample-by-sample instead.
+     *
+     * The scalar paths that feed one estimator from one stream
+     * (colo::Engine::Tenant::steady, core::PerformanceMonitor's
+     * longRun) are untouched by this: they never merge, and their
+     * add() sequence — hence their golden-pinned values — is
+     * byte-identical to the pre-merge implementation.
+     */
+    void merge(const P2Quantile &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        if (other.count_ < 5) {
+            // The other side holds raw samples: replay them.
+            for (std::size_t i = 0; i < other.count_; ++i)
+                add(other.heights[i]);
+            return;
+        }
+        if (count_ < 5) {
+            // This side holds raw samples: replay into a copy of the
+            // already-initialized other side.
+            P2Quantile merged = other;
+            for (std::size_t i = 0; i < count_; ++i)
+                merged.add(heights[i]);
+            *this = merged;
+            return;
+        }
+        const double wa = static_cast<double>(count_);
+        const double wb = static_cast<double>(other.count_);
+        heights[0] = std::min(heights[0], other.heights[0]);
+        heights[4] = std::max(heights[4], other.heights[4]);
+        for (int i = 1; i <= 3; ++i)
+            heights[i] =
+                (wa * heights[i] + wb * other.heights[i]) / (wa + wb);
+        count_ += other.count_;
+        // Rebuild marker bookkeeping at the ideal P² positions for
+        // the combined count (closed forms of init + n-5 increments),
+        // so future add() calls continue the estimator normally.
+        const double n = static_cast<double>(count_);
+        desired[0] = 1;
+        desired[1] = 1 + q * (n - 1) / 2;
+        desired[2] = 1 + q * (n - 1);
+        desired[3] = 1 + (1 + q) * (n - 1) / 2;
+        desired[4] = n;
+        positions[0] = 1;
+        for (int i = 1; i < 5; ++i) {
+            double p = std::floor(desired[i] + 0.5);
+            p = std::max(p, positions[i - 1] + 1);
+            p = std::min(p, n - static_cast<double>(4 - i));
+            positions[i] = p;
+        }
+    }
+
     /** Current quantile estimate (exact for < 5 observations). */
     double value() const
     {

@@ -16,6 +16,7 @@
  *     bit of the result.
  */
 
+#include "approx/profile.hh"
 #include "budget/budget.hh"
 #include "cluster/cluster.hh"
 #include "colo/trace.hh"
@@ -297,5 +298,113 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<budget::BudgetPolicy> &info) {
         return budget::policyName(info.param);
     });
+
+TEST(BudgetMigrationTest, SlicesTrackThePostMoveRosterAtFirstTick)
+{
+    // Regression for the stale-snapshot bug: budget slices used to be
+    // allocated from the status snapshot gathered BEFORE the epoch's
+    // migrations, so after a mid-epoch move both nodes ran on caps
+    // derived for rosters they no longer had until the next barrier.
+    //
+    // Setup chosen so the correct caps are computable in closed form:
+    // the precise runtime never switches variants, each app is pinned
+    // at its most approximate variant (so per-task headroom is zero
+    // and a node's quality demand is exactly the sum of its apps'
+    // pinned inaccuracies), and the quality budget is oversubscribed,
+    // making the proportional split cap_i = Q * demand_i / sum.
+    const double inacc_bayesian = [] {
+        const approx::AppProfile &p = approx::findProfile("bayesian");
+        return p.variant(p.mostApproxIndex()).inaccuracy;
+    }();
+    const double inacc_snp = [] {
+        const approx::AppProfile &p = approx::findProfile("snp");
+        return p.variant(p.mostApproxIndex()).inaccuracy;
+    }();
+    ASSERT_GT(inacc_bayesian, 0.0);
+    ASSERT_GT(inacc_snp, 0.0);
+    const double quality_budget = 0.02;
+    ASSERT_LT(quality_budget, inacc_bayesian + inacc_snp);
+
+    // The crowd hits node 0 early (8 s) so the move lands at the 10
+    // or 15 s barrier while both long apps (50+ nominal seconds) are
+    // provably still running at the 20 s horizon.
+    ClusterConfigBuilder builder;
+    for (int n = 0; n < 3; ++n) {
+        builder.node();
+        builder.service(services::ServiceKind::Memcached,
+                        n == 0 ? colo::Scenario::flashCrowd(
+                                     0.45, 0.97, 8 * kS, 2 * kS,
+                                     30 * kS, 5 * kS)
+                               : colo::Scenario::constant(0.45));
+    }
+    const int pin_bayesian =
+        approx::findProfile("bayesian").mostApproxIndex();
+    const int pin_snp = approx::findProfile("snp").mostApproxIndex();
+    Cluster cl(builder.app("bayesian", pin_bayesian)
+                   .app("snp", pin_snp)
+                   .runtime(core::RuntimeKind::Precise)
+                   .placement(PlacementKind::QosAware)
+                   .budget(budget::BudgetPolicy::Proportional,
+                           quality_budget, 1.5)
+                   .epoch(5 * kS)
+                   .maxDuration(20 * kS)
+                   .seed(71)
+                   .retainTimeline(true)
+                   .build());
+    const std::vector<std::size_t> initial = cl.initialAssignment();
+    const ClusterResult r = cl.run();
+    ASSERT_FALSE(r.migrations.empty());
+    const MigrationEvent &mig = r.migrations.front();
+
+    // The closed-form demand model needs every app still running at
+    // the move (finished tasks leave quality-in-use); the short
+    // horizon guarantees it, asserted so the test cannot silently
+    // rot into vacuity.
+    for (const auto &node : r.nodes)
+        for (const auto &app : node.result.apps)
+            ASSERT_FALSE(app.finished) << app.name;
+
+    const auto inacc_of = [&](const std::string &name) {
+        return name == "bayesian" ? inacc_bayesian : inacc_snp;
+    };
+    const std::vector<std::string> app_names = {"bayesian", "snp"};
+    // Node demands before the first migration and after it (apply
+    // every move recorded at the same barrier time).
+    std::vector<double> pre(r.nodes.size(), 0.0);
+    for (std::size_t a = 0; a < app_names.size(); ++a)
+        pre[initial[a]] += inacc_of(app_names[a]);
+    std::vector<double> post = pre;
+    for (const auto &m : r.migrations) {
+        if (m.t != mig.t)
+            break;
+        post[m.from] -= inacc_of(m.app);
+        post[m.to] += inacc_of(m.app);
+    }
+    const double sum = inacc_bayesian + inacc_snp;
+
+    // First interval recorded after the move on each node must carry
+    // caps derived from the POST-move demands.
+    for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+        const auto &timeline = r.nodes[n].result.timeline;
+        ASSERT_FALSE(timeline.empty());
+        const colo::TimePoint *first_after = nullptr;
+        const colo::TimePoint *last_before = nullptr;
+        for (const auto &tp : timeline) {
+            if (tp.t > mig.t) {
+                first_after = &tp;
+                break;
+            }
+            last_before = &tp;
+        }
+        ASSERT_NE(first_after, nullptr) << "node " << n;
+        ASSERT_NE(last_before, nullptr) << "node " << n;
+        EXPECT_NEAR(first_after->budgetQualityCap,
+                    quality_budget * post[n] / sum, 1e-12)
+            << "node " << n;
+        EXPECT_NEAR(last_before->budgetQualityCap,
+                    quality_budget * pre[n] / sum, 1e-12)
+            << "node " << n;
+    }
+}
 
 } // namespace

@@ -146,6 +146,10 @@ acceptanceConfig(PlacementKind placement, core::RuntimeKind runtime,
         .maxDuration(120 * kS)
         .seed(71)
         .threads(threads)
+        // Acceptance runs keep the per-tick series so the
+        // determinism checks compare full timelines, not just
+        // rollups, and the CSV roster test can replay them.
+        .retainTimeline(true)
         .build();
 }
 
@@ -233,6 +237,9 @@ TEST(ClusterRegressionTest, SingleNodeClusterEqualsBareEngine)
             .epoch(5 * kS)
             .maxDuration(120 * kS)
             .seed(71)
+            // Retain so the element-wise timeline comparison against
+            // the bare engine stays a non-vacuous check.
+            .retainTimeline(true)
             .build();
 
     Cluster cl(cfg);
@@ -370,6 +377,7 @@ TEST(ClusterRegressionTest, SingleNodeClusterWithAdmissionEqualsBareEngine)
             .epoch(5 * kS)
             .maxDuration(120 * kS)
             .seed(71)
+            .retainTimeline(true)
             .build();
 
     Cluster cl(cfg);
@@ -484,6 +492,9 @@ TEST(ClusterIdleNodeTest, AppLessNodesKeepServingAndReporting)
                     .placement(PlacementKind::LeastLoaded)
                     .maxDuration(60 * kS)
                     .seed(5)
+                    // Clusters default to streaming rollups; this
+                    // test inspects the per-tick series itself.
+                    .retainTimeline(true)
                     .build())
             .run();
     ASSERT_EQ(r.nodes.size(), 3u);

@@ -78,6 +78,103 @@ TEST(TraceTest, MultiAppColumnsPerApp)
     EXPECT_NE(header.find("bayesian_reclaimed"), std::string::npos);
 }
 
+TEST(TraceTest, SummaryCsvForAppLessNodeHasNoNan)
+{
+    // Zero-app engines are legal cluster states (a node can host
+    // only services); the per-app means must print "-" instead of
+    // dividing by zero and emitting "-nan".
+    ColoConfig cfg;
+    ServiceSpec svc;
+    svc.kind = services::ServiceKind::Memcached;
+    svc.scenario = Scenario::constant(0.6);
+    cfg.services = {svc};
+    cfg.apps = {};
+    cfg.seed = 35;
+    Engine exp(cfg);
+    exp.advanceUntil(30 * sim::kSecond,
+                     /*keep_services_running=*/true);
+    const ColoResult r = exp.finalize();
+    EXPECT_TRUE(r.apps.empty());
+
+    std::ostringstream os;
+    writeSummaryCsv(os, r);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+    EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+    EXPECT_NE(out.find(",-,-"), std::string::npos) << out;
+}
+
+TEST(TraceTest, StreamingRunMatchesRetainedSummaryBytes)
+{
+    // The streaming contract: retainTimeline only changes what is
+    // kept in memory, never a reported number — the same config run
+    // both ways produces byte-identical summary CSVs.
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Memcached;
+    cfg.apps = {"canneal", "bayesian"};
+    cfg.seed = 36;
+
+    ColoConfig streaming_cfg = cfg;
+    streaming_cfg.retainTimeline = false;
+
+    Engine retained_run(cfg);
+    const ColoResult retained = retained_run.run();
+    Engine streaming_run(streaming_cfg);
+    const ColoResult streaming = streaming_run.run();
+
+    EXPECT_FALSE(retained.timeline.empty());
+    EXPECT_TRUE(streaming.timeline.empty());
+    EXPECT_EQ(streaming.steadyP99Us, retained.steadyP99Us);
+    EXPECT_EQ(streaming.meanIntervalP99Us,
+              retained.meanIntervalP99Us);
+    EXPECT_EQ(streaming.qosMetFraction, retained.qosMetFraction);
+    EXPECT_EQ(streaming.maxCoresReclaimedTotal,
+              retained.maxCoresReclaimedTotal);
+    EXPECT_EQ(streaming.typicalCoresReclaimed,
+              retained.typicalCoresReclaimed);
+
+    std::ostringstream a, b;
+    writeSummaryCsv(a, retained);
+    writeSummaryCsv(b, streaming);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TraceTest, LiveSinkMatchesRetainedReplayBytes)
+{
+    // A CsvTimelineSink attached to a live engine must emit exactly
+    // the rows writeTimelineCsv replays from a retained run of the
+    // same config.
+    ColoConfig cfg;
+    cfg.service = services::ServiceKind::Memcached;
+    cfg.apps = {"canneal"};
+    cfg.seed = 37;
+
+    Engine retained_run(cfg);
+    const ColoResult retained = retained_run.run();
+    std::ostringstream replayed;
+    writeTimelineCsv(replayed, retained);
+
+    ColoConfig streaming_cfg = cfg;
+    streaming_cfg.retainTimeline = false;
+    Engine streaming_run(streaming_cfg);
+    std::ostringstream live;
+    std::vector<std::string> columns;
+    for (const auto &app : retained.apps)
+        columns.push_back(app.name);
+    std::vector<std::string> service_names;
+    for (const auto &svc : retained.services)
+        service_names.push_back(svc.name);
+    CsvTimelineSink sink(live, columns, service_names,
+                         retained.qosUs, retained.admissionEnabled,
+                         retained.budgetEnabled);
+    streaming_run.setTimelineSink(&sink);
+    const ColoResult streaming = streaming_run.run();
+
+    EXPECT_TRUE(streaming.timeline.empty());
+    EXPECT_EQ(live.str(), replayed.str());
+    EXPECT_FALSE(live.str().empty());
+}
+
 TEST(PartitionIntegrationTest, PartitioningPrecedesCoreReclamation)
 {
     const ColoResult with = sampleRun(core::RuntimeKind::Pliant, true);

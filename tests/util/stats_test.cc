@@ -312,6 +312,118 @@ TEST(P2AccuracyHeavyTailTest, TracksExactOnHeavyLognormal)
     EXPECT_NEAR(est.value() / exact.p99(), 1.0, 0.15);
 }
 
+TEST(P2MergeTest, MergeWithEmptyIsIdentity)
+{
+    P2Quantile a(0.99);
+    for (int i = 0; i < 1000; ++i)
+        a.add(static_cast<double>(i));
+    const double before = a.value();
+    P2Quantile empty(0.99);
+    a.merge(empty);
+    EXPECT_EQ(a.value(), before);
+    EXPECT_EQ(a.count(), 1000u);
+
+    P2Quantile b(0.99);
+    b.merge(a);
+    EXPECT_EQ(b.value(), a.value());
+    EXPECT_EQ(b.count(), a.count());
+}
+
+TEST(P2MergeTest, RawStageMergesExactly)
+{
+    // Below five samples each side holds raw values, so a merge of
+    // two raw-stage sketches must equal the sketch of the
+    // concatenated stream — the estimator is still exact there.
+    P2Quantile a(0.5), b(0.5), whole(0.5);
+    for (double x : {3.0, 1.0})
+        a.add(x);
+    for (double x : {2.0, 4.0})
+        b.add(x);
+    for (double x : {3.0, 1.0, 2.0, 4.0})
+        whole.add(x);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.value(), whole.value());
+}
+
+TEST(P2MergeTest, ShardedMergeTracksExactOnHeavyTailMillionSamples)
+{
+    // The cluster reduction case: 8 per-lane sketches over disjoint
+    // heavy-tail (cv = 2.0) shards of a 10^6-sample stream, folded
+    // into one estimate, compared against the exact percentile of
+    // the full stream.
+    constexpr int kShards = 8;
+    constexpr int kTotal = 1000000;
+    Rng rng(113);
+    std::vector<P2Quantile> shards(kShards, P2Quantile(0.99));
+    PercentileWindow exact;
+    for (int i = 0; i < kTotal; ++i) {
+        const double x = rng.lognormalMeanCv(250.0, 2.0);
+        shards[i % kShards].add(x);
+        exact.add(x);
+    }
+    P2Quantile merged(0.99);
+    for (const auto &shard : shards)
+        merged.merge(shard);
+    EXPECT_EQ(merged.count(), static_cast<std::size_t>(kTotal));
+    EXPECT_NEAR(merged.value() / exact.p99(), 1.0, 0.15);
+}
+
+TEST(P2MergeTest, MergeAssociativeToTightToleranceAcrossEightShards)
+{
+    // Count-weighted marker averaging is associative in exact
+    // arithmetic; in doubles the left fold and the pairwise tree
+    // fold may differ only by accumulated rounding, pinned here at
+    // 1e-12 relative. Byte-identical outputs still require a fixed
+    // fold order — this bounds the damage if orders ever diverge.
+    constexpr int kShards = 8;
+    Rng rng(127);
+    std::vector<P2Quantile> shards(kShards, P2Quantile(0.99));
+    for (int s = 0; s < kShards; ++s)
+        for (int i = 0; i < 40000; ++i)
+            shards[s].add(rng.lognormalMeanCv(250.0, 2.0));
+
+    P2Quantile left(0.99);
+    for (const auto &shard : shards)
+        left.merge(shard);
+
+    std::vector<P2Quantile> tree = shards;
+    while (tree.size() > 1) {
+        std::vector<P2Quantile> next;
+        for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+            P2Quantile pair = tree[i];
+            pair.merge(tree[i + 1]);
+            next.push_back(pair);
+        }
+        if (tree.size() % 2 == 1)
+            next.push_back(tree.back());
+        tree = std::move(next);
+    }
+
+    EXPECT_EQ(left.count(), tree[0].count());
+    EXPECT_NEAR(left.value() / tree[0].value(), 1.0, 1e-12);
+}
+
+TEST(P2MergeTest, FixedFoldOrderIsBitwiseDeterministic)
+{
+    // The determinism contract consumed by the cluster rollup: the
+    // same shards folded in the same order give bit-identical
+    // estimates, run to run.
+    constexpr int kShards = 5;
+    std::vector<P2Quantile> shards(kShards, P2Quantile(0.99));
+    Rng rng(131);
+    for (int s = 0; s < kShards; ++s)
+        for (int i = 0; i < 10000; ++i)
+            shards[s].add(rng.lognormalMeanCv(100.0, 0.8));
+    P2Quantile once(0.99), twice(0.99);
+    for (const auto &shard : shards)
+        once.merge(shard);
+    for (const auto &shard : shards)
+        twice.merge(shard);
+    EXPECT_EQ(once.value(), twice.value());
+    EXPECT_EQ(once.count(), twice.count());
+}
+
 TEST(ReservoirTest, KeepsAllWhenUnderCapacity)
 {
     Rng rng(3);
