@@ -8,11 +8,18 @@
  * the Pliant runtime. The whole grid runs as one batch through
  * driver::Sweep; per-node execution is deterministic at any thread
  * count, so the table is byte-identical run to run.
+ *
+ * `--trace-out FILE` additionally runs the QoS-aware Pliant cell
+ * once more (outside the sweep, so the table is unaffected) with a
+ * span tracer attached and writes a Chrome trace_event JSON —
+ * loadable in Perfetto, validated by scripts/check_trace.py in CI.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "cluster/cluster.hh"
+#include "obs/trace.hh"
 #include "util/table.hh"
 
 using namespace pliant;
@@ -57,7 +64,20 @@ makeConfig(cluster::PlacementKind placement, core::RuntimeKind runtime,
 int
 main(int argc, char **argv)
 {
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    bool quick = false;
+    std::string trace_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else {
+            std::cerr << "usage: fig_cluster [--quick] "
+                         "[--trace-out FILE]\n";
+            return 2;
+        }
+    }
     std::cout << "=== Cluster placement: 3 nodes x (memcached + "
                  "nginx) + 6 approximate apps ===\n\n";
 
@@ -93,5 +113,26 @@ main(int argc, char **argv)
            "additionally migrates an app off the crowded node at an "
            "epoch boundary — placement churn the per-node control "
            "loops absorb without losing determinism.\n";
+
+    if (!trace_out.empty()) {
+        // A separate traced run of the most interesting cell
+        // (QoS-aware + Pliant): epochs, migrations, and budget
+        // allocations on the cluster track, decision intervals and
+        // events on each node's engine tracks.
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::cerr << "error: cannot write " << trace_out << "\n";
+            return 1;
+        }
+        obs::TraceWriter tracer(os);
+        cluster::Cluster traced(makeConfig(
+            cluster::PlacementKind::QosAware,
+            core::RuntimeKind::Pliant, quick));
+        traced.setTraceWriter(&tracer);
+        traced.run();
+        tracer.finish();
+        std::cout << "\nwrote " << trace_out << " ("
+                  << tracer.eventCount() << " trace events)\n";
+    }
     return 0;
 }

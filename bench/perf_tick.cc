@@ -31,10 +31,21 @@
  *
  * Usage: perf_tick [--quick] [--reps N] [--out FILE]
  *                  [--threads T1,T2,...] [--fast-sampling]
+ *                  [--metrics-summary] [--metrics-out FILE]
  *   --quick   one repetition per config (CI smoke; timings noisy)
  *   --reps N  repetitions per config (default 3); best-of-N is
  *             reported to damp scheduler noise
  *   --out F   JSON output path (default BENCH_tick.json)
+ *   --metrics-summary   after the timing reps, run each base config
+ *             once more with the observability registry enabled,
+ *             print its metrics table, and write the per-config
+ *             exports as a metrics JSON. The extra passes are
+ *             separate from the timed reps, so BENCH_tick.json rows
+ *             are unaffected. scripts/check_bench_schema.py validates
+ *             the file: deterministic/lane_dependent values hard-fail
+ *             on drift, wall_time values warn only.
+ *   --metrics-out F     metrics JSON path (default metrics.json;
+ *             implies --metrics-summary)
  */
 
 #include <algorithm>
@@ -49,6 +60,7 @@
 
 #include "cluster/cluster.hh"
 #include "colo/engine.hh"
+#include "obs/metrics.hh"
 #include "util/table.hh"
 
 using namespace pliant;
@@ -266,6 +278,38 @@ writeJson(const std::string &path,
     out << "  ]\n}\n";
 }
 
+/** One obs-enabled pass of a frozen config: name + folded snapshot. */
+struct MetricsRun
+{
+    std::string name;
+    obs::MetricsSnapshot snap;
+};
+
+/**
+ * Metrics JSON: one `pliant-metrics-v1` export per frozen config,
+ * wrapped so the schema checker can pair configs by name.
+ */
+void
+writeMetricsJsonFile(const std::string &path,
+                     const std::vector<MetricsRun> &runs)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n"
+        << "  \"bench\": \"perf_tick_metrics\",\n"
+        << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        out << "    {\"name\": \"" << runs[i].name
+            << "\", \"export\": ";
+        obs::writeMetricsJson(out, runs[i].snap);
+        out << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
 /** Parse "1,4,8" into a thread axis: deduped, 1 forced first. */
 std::vector<unsigned>
 parseThreadAxis(const std::string &arg)
@@ -305,6 +349,8 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_tick.json";
     std::vector<unsigned> thread_axis = {1};
     bool fast_axis = false;
+    bool metrics_summary = false;
+    std::string metrics_out = "metrics.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -317,10 +363,16 @@ main(int argc, char **argv)
             thread_axis = parseThreadAxis(argv[++i]);
         } else if (arg == "--fast-sampling") {
             fast_axis = true;
+        } else if (arg == "--metrics-summary") {
+            metrics_summary = true;
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+            metrics_summary = true;
         } else {
             std::cerr << "usage: perf_tick [--quick] [--reps N] "
                          "[--out FILE] [--threads T1,T2,...] "
-                         "[--fast-sampling]\n";
+                         "[--fast-sampling] [--metrics-summary] "
+                         "[--metrics-out FILE]\n";
             return 2;
         }
     }
@@ -416,5 +468,31 @@ main(int argc, char **argv)
 
     writeJson(out_path, results, reps);
     std::cout << "\nwrote " << out_path << "\n";
+
+    if (metrics_summary) {
+        // Obs-enabled passes run after (and separate from) the timed
+        // reps: the timing rows above never pay for the registry, and
+        // the registry's deterministic values don't depend on the
+        // lane axis, so one pass per base config suffices.
+        std::vector<MetricsRun> mruns;
+        for (const EngineBench &b : engine_benches) {
+            colo::ColoConfig cfg = b.cfg;
+            cfg.observability.metrics = true;
+            colo::Engine engine(cfg);
+            mruns.push_back({b.name, engine.run().metrics});
+        }
+        {
+            cluster::ClusterConfig cfg = cluster_base;
+            cfg.observability.metrics = true;
+            cluster::Cluster c(cfg);
+            mruns.push_back({"cluster_3_node", c.run().metrics});
+        }
+        for (const MetricsRun &mr : mruns) {
+            std::cout << "\n--- metrics: " << mr.name << " ---\n";
+            obs::metricsTable(mr.snap).print(std::cout);
+        }
+        writeMetricsJsonFile(metrics_out, mruns);
+        std::cout << "\nwrote " << metrics_out << "\n";
+    }
     return 0;
 }

@@ -20,6 +20,8 @@
  *              [--queue-bound-qos F]
  *              [--quality-budget F] [--shed-budget F]
  *              [--budget-policy uniform|proportional|learned]
+ *              [--trace-out FILE] [--metrics-out FILE]
+ *              [--metrics-summary]
  *              [--list-apps]
  *
  * --services runs a multi-service colocation (one tenant per listed
@@ -47,10 +49,18 @@
  * epoch barrier the cluster splits the global quality-loss and shed
  * budgets into per-node caps that gate runtime escalation and
  * admission shedding.
+ * --trace-out exports a Chrome trace_event JSON (load it in
+ * ui.perfetto.dev or chrome://tracing) of decision intervals, epoch
+ * barriers, actuation/migration/budget events; --metrics-out writes
+ * the deterministic metrics registry as pliant-metrics-v1 JSON and
+ * --metrics-summary prints it as a table. All three leave the
+ * simulation outputs byte-identical to a run without them.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,6 +70,8 @@
 #include "cluster/cluster.hh"
 #include "colo/engine.hh"
 #include "colo/trace.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -87,6 +99,8 @@ usage(const char *argv0)
            " [--queue-bound-qos F]"
            " [--quality-budget F] [--shed-budget F]"
            " [--budget-policy uniform|proportional|learned]"
+           " [--trace-out FILE] [--metrics-out FILE]"
+           " [--metrics-summary]"
            " [--list-apps]\n";
     std::exit(2);
 }
@@ -194,6 +208,34 @@ parseScenario(const std::string &s, double base, const char *argv0)
     usage(argv0);
 }
 
+/** Write the folded metrics snapshot and/or print it as a table. */
+void
+exportMetrics(const obs::MetricsSnapshot &snap,
+              const std::string &metrics_out, bool metrics_summary)
+{
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out);
+        if (!os)
+            util::fatal("cannot open --metrics-out file '",
+                        metrics_out, "'");
+        obs::writeMetricsJson(os, snap);
+    }
+    if (metrics_summary) {
+        std::cout << '\n';
+        obs::metricsTable(snap).print(std::cout);
+    }
+}
+
+/** Open the --trace-out stream (throws on failure). */
+std::unique_ptr<std::ofstream>
+openTraceStream(const std::string &path)
+{
+    auto os = std::make_unique<std::ofstream>(path);
+    if (!*os)
+        util::fatal("cannot open --trace-out file '", path, "'");
+    return os;
+}
+
 std::vector<std::string>
 splitCsvList(const std::string &arg)
 {
@@ -220,6 +262,9 @@ main(int argc, char **argv)
     cluster::PlacementKind placement = cluster::PlacementKind::Static;
     sim::Time epoch = 5 * sim::kSecond;
     budget::BudgetConfig budget_cfg;
+    std::string trace_out;
+    std::string metrics_out;
+    bool metrics_summary = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -286,6 +331,12 @@ main(int argc, char **argv)
         } else if (arg == "--budget-policy") {
             budget_cfg.enabled = true;
             budget_cfg.policy = parseBudgetPolicy(next(), argv[0]);
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--metrics-summary") {
+            metrics_summary = true;
         } else if (arg == "--csv") {
             csv_mode = next();
         } else if (arg == "--list-apps") {
@@ -296,6 +347,10 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    // Metrics exports need the registry; tracing alone does not.
+    if (!metrics_out.empty() || metrics_summary)
+        cfg.observability.metrics = true;
 
     // Assemble the tenant list when multi-service or a non-constant
     // scenario was requested; otherwise keep the legacy single-service
@@ -356,9 +411,23 @@ main(int argc, char **argv)
                 builder.admission(cfg.admission);
             if (budget_cfg.enabled)
                 builder.budget(budget_cfg);
+            if (cfg.observability.enabled())
+                builder.observability(cfg.observability);
             const cluster::ClusterConfig ccfg = builder.build();
             cluster::Cluster cl(ccfg);
+            std::unique_ptr<std::ofstream> trace_os;
+            std::unique_ptr<obs::TraceWriter> tracer;
+            if (!trace_out.empty()) {
+                trace_os = openTraceStream(trace_out);
+                tracer =
+                    std::make_unique<obs::TraceWriter>(*trace_os);
+                cl.setTraceWriter(tracer.get());
+            }
             const cluster::ClusterResult r = cl.run();
+            if (tracer)
+                tracer->finish();
+            if (!metrics_out.empty())
+                exportMetrics(r.metrics, metrics_out, false);
 
             std::cout << nodes << "-node cluster under " << r.runtime
                       << " runtime, " << r.placement
@@ -403,6 +472,8 @@ main(int argc, char **argv)
                           << util::fmt(r.budgetQualityUsed, 4)
                           << " shed_used="
                           << util::fmt(r.budgetShedUsed, 4) << '\n';
+            if (metrics_summary)
+                exportMetrics(r.metrics, "", true);
         } catch (const util::FatalError &err) {
             std::cerr << "error: " << err.what() << '\n';
             return 1;
@@ -412,7 +483,18 @@ main(int argc, char **argv)
 
     try {
         colo::Engine exp(cfg);
+        std::unique_ptr<std::ofstream> trace_os;
+        std::unique_ptr<obs::TraceWriter> tracer;
+        if (!trace_out.empty()) {
+            trace_os = openTraceStream(trace_out);
+            tracer = std::make_unique<obs::TraceWriter>(*trace_os);
+            exp.setTrace(tracer.get());
+        }
         const colo::ColoResult r = exp.run();
+        if (tracer)
+            tracer->finish();
+        if (!metrics_out.empty())
+            exportMetrics(r.metrics, metrics_out, false);
 
         if (csv_mode == "timeline") {
             colo::writeTimelineCsv(std::cout, r);
@@ -465,6 +547,8 @@ main(int argc, char **argv)
                       util::fmt(app.relativeExecTime, 2)});
         }
         t.print(std::cout);
+        if (metrics_summary)
+            exportMetrics(r.metrics, "", true);
     } catch (const util::FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
         return 1;

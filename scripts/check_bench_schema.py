@@ -12,6 +12,14 @@ ticks_per_sec, speedup_vs_1t, peak_rss_mb) are noisy on shared
 runners, so they only produce a warning line showing the ratio —
 the perf trajectory artifact is where timing history lives.
 
+Also validates metrics exports (perf_tick --metrics-summary writes
+metrics.json, a wrapper with one embedded pliant-metrics-v1 export
+per config). Each metric carries its own stability class in the
+schema: 'deterministic' and 'lane_dependent' values must match the
+committed reference exactly (hard fail — these are simulation
+outputs), while 'wall_time' values (phase timers, pool stats,
+futex parks) are machine noise and warn only.
+
 Usage: check_bench_schema.py <committed.json> <fresh.json>
 """
 
@@ -37,9 +45,57 @@ DETERMINISTIC_FIELDS = {
 }
 
 
+# Stability classes whose values are pinned exactly by the schema.
+# lane_dependent values are deterministic given the config, and the
+# metrics pass always runs the frozen base configs, so they pin too.
+EXACT_STABILITIES = {"deterministic", "lane_dependent"}
+
+
 def fail(msg):
     print(f"SCHEMA DRIFT: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_metrics_export(cfg_name, ref, new):
+    """One embedded pliant-metrics-v1 export: pin by stability class."""
+    if ref.get("schema") != new.get("schema"):
+        fail(f"config '{cfg_name}' metrics schema "
+             f"{new.get('schema')!r} != committed {ref.get('schema')!r}")
+    ref_names = [m["name"] for m in ref["metrics"]]
+    new_names = [m["name"] for m in new["metrics"]]
+    if ref_names != new_names:
+        fail(f"config '{cfg_name}' metric roster {new_names} != "
+             f"committed {ref_names}")
+    for rm, nm in zip(ref["metrics"], new["metrics"]):
+        mname = rm["name"]
+        for field in ("kind", "stability"):
+            if rm.get(field) != nm.get(field):
+                fail(f"config '{cfg_name}' metric '{mname}' {field} "
+                     f"= {nm.get(field)!r} != committed "
+                     f"{rm.get(field)!r}")
+        value_fields = sorted(
+            (set(rm) | set(nm)) - {"name", "kind", "stability"})
+        if rm["stability"] in EXACT_STABILITIES:
+            for field in value_fields:
+                if rm.get(field) != nm.get(field):
+                    fail(f"config '{cfg_name}' metric '{mname}' "
+                         f"{field} = {nm.get(field)} != committed "
+                         f"{rm.get(field)} (stability "
+                         f"'{rm['stability']}' pins this value "
+                         f"exactly)")
+        else:
+            # wall_time: timers and pool stats move with the machine;
+            # show the headline ratio, never fail.
+            for field in ("mean", "value", "max"):
+                r, n = rm.get(field), nm.get(field)
+                if isinstance(r, (int, float)) and r and \
+                        isinstance(n, (int, float)):
+                    ratio = n / r
+                    flag = " <-- check locally" \
+                        if not 0.5 <= ratio <= 2.0 else ""
+                    print(f"warn-only: '{cfg_name}' {mname}.{field} "
+                          f"ratio vs committed = {ratio:.2f}{flag}")
+                    break
 
 
 def main():
@@ -69,6 +125,9 @@ def main():
         if set(ref) != set(new):
             fail(f"config '{name}' keys {sorted(new)} != "
                  f"committed {sorted(ref)}")
+        if "export" in ref:
+            check_metrics_export(name, ref["export"], new["export"])
+            continue
         for field in sorted(DETERMINISTIC_FIELDS & set(ref)):
             if ref[field] != new[field]:
                 fail(f"config '{name}' {field} = {new[field]} != "

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file written by obs::TraceWriter.
+
+Checks, in order:
+
+  1. The file parses as a JSON array of objects with the required
+     keys (name, ph, ts, pid, tid) and no unknown phase letters —
+     the writer only emits B/E spans, i instants, and M metadata.
+  2. Per-track monotonicity: within each (pid, tid) track the
+     timestamps of B/E/i events are non-decreasing. Timestamps are
+     SIMULATED microseconds, so this is a determinism property of
+     the run, not a wall-clock one. Metadata (M) events carry ts 0
+     and are exempt.
+  3. Span balance: B and E events on each track nest like a stack,
+     every E names the span its matching B opened, and no span is
+     left open at end of file.
+
+Exit 0 with a summary line on success, exit 1 with a diagnostic on
+the first violation. Used by CI on a `fig_cluster --trace-out` run.
+
+Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+KNOWN_PHASES = {"B", "E", "i", "M"}
+
+
+def fail(msg):
+    print(f"TRACE INVALID: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        try:
+            events = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+
+    if not isinstance(events, list):
+        fail(f"top level is {type(events).__name__}, expected array")
+
+    last_ts = {}   # (pid, tid) -> last B/E/i timestamp seen
+    stacks = {}    # (pid, tid) -> open span names
+    spans = instants = 0
+    for idx, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {idx} is {type(ev).__name__}, not object")
+        missing = REQUIRED_KEYS - set(ev)
+        if missing:
+            fail(f"event {idx} missing keys {sorted(missing)}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            fail(f"event {idx} has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event {idx} ts {ts!r} is not a number")
+        if track in last_ts and ts < last_ts[track]:
+            fail(f"event {idx} ({ev['name']!r}) on track "
+                 f"pid={track[0]} tid={track[1]} has ts {ts} < "
+                 f"previous {last_ts[track]} — per-track timestamps "
+                 f"must be non-decreasing")
+        last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev["name"])
+            spans += 1
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                fail(f"event {idx} closes {ev['name']!r} on track "
+                     f"pid={track[0]} tid={track[1]} with no open "
+                     f"span")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                fail(f"event {idx} closes {ev['name']!r} but the "
+                     f"innermost open span on track pid={track[0]} "
+                     f"tid={track[1]} is {opened!r} — spans must "
+                     f"nest")
+        else:
+            instants += 1
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"track pid={track[0]} tid={track[1]} ends with "
+                 f"unclosed spans {stack}")
+
+    print(f"trace OK: {len(events)} events, {spans} spans, "
+          f"{instants} instants, {len(last_ts)} tracks")
+
+
+if __name__ == "__main__":
+    main()

@@ -132,6 +132,8 @@ AdmissionQueue::onQosFeedback(double ratio, double relief_ratio)
     // still above QoS — otherwise let approximation do its job.
     const double floor = relief_ratio >= 0.0 ? relief_ratio : ratio;
     if (ratio > 1.0 && floor > 1.0) {
+        if (!qosGate)
+            ++gateArmCount;
         qosGate = true;
         gateIdle = 0;
     }
@@ -189,8 +191,11 @@ AdmissionQueue::shedFractionFor(double arrivals, double capacity_req,
         const bool idle =
             shed <= 0.0 && queueReq < 0.02 * boundReq;
         gateIdle = idle ? gateIdle + dt : 0;
-        if (gateIdle >= kGateIdleRelease)
+        if (gateIdle >= kGateIdleRelease) {
+            if (qosGate)
+                ++gateReleaseCount;
             qosGate = false;
+        }
         return shed;
       }
     }

@@ -259,6 +259,17 @@ class AdmissionQueue
     /** Requests currently waiting. */
     double queueDepthRequests() const { return queueReq; }
 
+    /**
+     * Shed-gate observability (the QosShed gate below). The counters
+     * are monotone transition counts maintained unconditionally —
+     * the obs layer reads them at interval closes to emit gate
+     * arm/release trace events and metrics without changing any
+     * gate behavior.
+     */
+    bool gateArmed() const { return qosGate; }
+    std::uint64_t gateArms() const { return gateArmCount; }
+    std::uint64_t gateReleases() const { return gateReleaseCount; }
+
     /** Queue bound in requests (infinite for AcceptAll). */
     double queueBoundRequests() const { return boundReq; }
 
@@ -303,6 +314,8 @@ class AdmissionQueue
      */
     bool qosGate = false;
     sim::Time gateIdle = 0;
+    std::uint64_t gateArmCount = 0;     ///< false→true transitions
+    std::uint64_t gateReleaseCount = 0; ///< true→false transitions
 
     /** Weighted-sum accumulator behind AdmissionStats. */
     struct Accum

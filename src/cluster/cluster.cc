@@ -1,6 +1,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "driver/pool.hh"
@@ -125,6 +126,7 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         nc.engineThreads = cfg.engineThreads;
         nc.fastSampling = cfg.fastSampling;
         nc.retainTimeline = cfg.retainTimeline;
+        nc.observability = cfg.observability;
         nc.seed = nodeSeed(cfg.seed, i);
         for (std::size_t a = 0; a < cfg.apps.size(); ++a) {
             if (assignment[a] != i)
@@ -138,6 +140,47 @@ Cluster::Cluster(ClusterConfig config) : cfg(std::move(config))
         colo::validateConfig(nc);
         nodeConfigs.push_back(std::move(nc));
     }
+
+    // Cluster-layer metrics: all updated at epoch barriers on the
+    // coordinating thread (lane 0), so every deterministic value is
+    // pool-thread invariant. Pool stats are wall-time by nature
+    // (queue depth and job latency depend on OS scheduling).
+    if (cfg.observability.metrics) {
+        metrics = std::make_unique<obs::MetricsRegistry>(1);
+        mid.epochs = metrics->counter("cluster.epochs");
+        mid.migrations = metrics->counter("cluster.migrations");
+        mid.budgetAllocs =
+            metrics->counter("cluster.budget_allocations");
+        mid.epochWall = metrics->stat("cluster.epoch_wall_s",
+                                      obs::Stability::WallTime);
+        mid.poolSubmitted = metrics->gauge(
+            "pool.jobs_submitted", obs::Stability::WallTime);
+        mid.poolExecuted = metrics->gauge("pool.jobs_executed",
+                                          obs::Stability::WallTime);
+        mid.poolDepthMax = metrics->gauge("pool.max_queue_depth",
+                                          obs::Stability::WallTime);
+        mid.poolDepthMean = metrics->gauge(
+            "pool.mean_queue_depth", obs::Stability::WallTime);
+        mid.poolJobWallMean = metrics->gauge(
+            "pool.job_wall_mean_s", obs::Stability::WallTime);
+        mid.poolJobWallMax = metrics->gauge(
+            "pool.job_wall_max_s", obs::Stability::WallTime);
+        metrics->freeze();
+    }
+}
+
+void
+Cluster::setTraceWriter(obs::TraceWriter *writer)
+{
+    tracer = writer;
+    if (!tracer)
+        return;
+    tracer->processName(0, "cluster");
+    tracer->threadName(0, 0, "epochs");
+    tracer->threadName(0, 1, "events");
+    for (std::size_t i = 0; i < nodeNames.size(); ++i)
+        tracer->processName(static_cast<int>(i) + 1,
+                            "node:" + nodeNames[i]);
 }
 
 Cluster::~Cluster() = default;
@@ -199,6 +242,12 @@ Cluster::applyMigration(const MigrationDecision &decision,
         engines[decision.to]->attachApp(state);
         out.migrations.push_back(
             {now, decision.app, decision.from, decision.to});
+        if (metrics)
+            metrics->add(mid.migrations, 0);
+        if (tracer) {
+            const std::string ev = "migrate:" + decision.app;
+            tracer->instant(0, 1, ev.c_str(), now);
+        }
         util::inform("cluster: migrated '", decision.app, "' from ",
                      nodeNames[decision.from], " to ",
                      nodeNames[decision.to], " at t=",
@@ -227,6 +276,8 @@ Cluster::allocateBudget(const std::vector<NodeStatus> &statuses)
     for (std::size_t i = 0; i < engines.size(); ++i)
         engines[i]->setBudgetSlice(slices[i].qualityCap,
                                    slices[i].shedCap);
+    if (metrics)
+        metrics->add(mid.budgetAllocs, 0);
 }
 
 ClusterResult
@@ -239,6 +290,9 @@ Cluster::run()
     engines.reserve(nodeConfigs.size());
     for (const auto &nc : nodeConfigs)
         engines.push_back(std::make_unique<colo::Engine>(nc));
+    if (tracer)
+        for (std::size_t i = 0; i < engines.size(); ++i)
+            engines[i]->setTrace(tracer, static_cast<int>(i) + 1);
 
     ClusterResult out;
     out.placement = policy->name();
@@ -250,12 +304,18 @@ Cluster::run()
         // reports yet every demand is zero, so each policy degrades
         // to a uniform split, and nodes are budget-gated from t=0.
         allocateBudget(gatherStatuses());
+        if (tracer)
+            tracer->instant(0, 1, "budget-allocate", 0);
     }
 
     driver::Pool pool(cfg.threads);
     sim::Time t = 0;
     while (true) {
+        const sim::Time epoch_start = t;
         t = std::min(t + cfg.epoch, cfg.maxDuration);
+        std::chrono::steady_clock::time_point ew0;
+        if (metrics)
+            ew0 = std::chrono::steady_clock::now();
 
         // Advance every node to the epoch boundary in parallel — in
         // keep-services mode, so nodes whose apps finished (or that
@@ -278,6 +338,21 @@ Cluster::run()
         for (auto &err : errors)
             if (err)
                 std::rethrow_exception(err);
+
+        if (metrics) {
+            metrics->add(mid.epochs, 0);
+            metrics->record(
+                mid.epochWall,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - ew0)
+                    .count());
+        }
+        if (tracer) {
+            // The epoch span is emitted whole at the barrier, so
+            // track (0, 0) timestamps stay non-decreasing.
+            tracer->begin(0, 0, "epoch", epoch_start);
+            tracer->end(0, 0, "epoch", t);
+        }
 
         // The experiment ends when every app everywhere has finished
         // (services-only nodes are vacuously done) or the horizon is
@@ -304,6 +379,8 @@ Cluster::run()
                 allocateBudget(gatherStatuses());
             else
                 allocateBudget(statuses);
+            if (tracer)
+                tracer->instant(0, 1, "budget-allocate", t);
         }
     }
 
@@ -364,6 +441,26 @@ Cluster::run()
             out.budgetQualityUsed += nr.result.budgetQualityUsed;
             out.budgetShedUsed += nr.result.budgetShedUsed;
         }
+    }
+    if (metrics) {
+        const driver::Pool::Stats ps = pool.stats();
+        metrics->set(mid.poolSubmitted,
+                     static_cast<double>(ps.submitted));
+        metrics->set(mid.poolExecuted,
+                     static_cast<double>(ps.executed));
+        metrics->set(mid.poolDepthMax,
+                     static_cast<double>(ps.maxQueueDepth));
+        metrics->set(mid.poolDepthMean, ps.meanQueueDepth);
+        metrics->set(mid.poolJobWallMean, ps.jobWallMeanS);
+        metrics->set(mid.poolJobWallMax, ps.jobWallMaxS);
+        out.obsEnabled = true;
+        // Fold node snapshots in ascending node order — the fixed
+        // order that keeps merged stats pool-thread invariant — then
+        // append the cluster layer's own metrics.
+        for (const auto &nr : out.nodes)
+            if (nr.result.obsEnabled)
+                out.metrics.merge(nr.result.metrics);
+        out.metrics.merge(metrics->snapshot());
     }
     return out;
 }
@@ -649,6 +746,20 @@ ClusterConfigBuilder &
 ClusterConfigBuilder::retainTimeline(bool enable)
 {
     cfg.retainTimeline = enable;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::observability(obs::ObsConfig obs_cfg)
+{
+    cfg.observability = obs_cfg;
+    return *this;
+}
+
+ClusterConfigBuilder &
+ClusterConfigBuilder::observability(bool metrics)
+{
+    cfg.observability.metrics = metrics;
     return *this;
 }
 

@@ -93,6 +93,14 @@ struct ClusterConfig
      */
     budget::BudgetConfig budget;
 
+    /**
+     * Observability knobs, applied to the cluster layer AND copied
+     * to every node engine (see colo::ColoConfig::observability).
+     * Disabled by default; disabled clusters are byte-identical to
+     * pre-observability ones.
+     */
+    obs::ObsConfig observability;
+
     /** How apps land on nodes, and whether they move. */
     PlacementKind placement = PlacementKind::Static;
 
@@ -204,6 +212,15 @@ struct ClusterResult
     std::string budgetPolicy;
     double budgetQualityUsed = 0.0;
     double budgetShedUsed = 0.0;
+
+    /**
+     * Observability rollup (empty when disabled): every node's
+     * snapshot folded in ascending node order — the fixed order that
+     * keeps merged doubles pool-thread invariant — plus the cluster
+     * layer's own metrics (epochs, migrations, pool stats).
+     */
+    bool obsEnabled = false;
+    obs::MetricsSnapshot metrics;
 };
 
 /**
@@ -300,6 +317,12 @@ class ClusterConfigBuilder
     /** Retain per-tick series on every node (default off). */
     ClusterConfigBuilder &retainTimeline(bool enable = true);
 
+    /** Observability knobs, cluster layer + every node (default off). */
+    ClusterConfigBuilder &observability(obs::ObsConfig cfg);
+
+    /** Enable the metrics registry with default knobs. */
+    ClusterConfigBuilder &observability(bool metrics = true);
+
     /** Validate and return the config (throws util::FatalError). */
     ClusterConfig build() const;
 
@@ -355,6 +378,14 @@ class Cluster
     static std::uint64_t nodeSeed(std::uint64_t clusterSeed,
                                   std::size_t node);
 
+    /**
+     * Attach a span-trace writer (non-owning; null detaches). Call
+     * before run(): the cluster emits epoch spans, migration and
+     * budget-allocation instants on pid 0, and every node engine
+     * traces on pid 1+i. Independent of cfg.observability.metrics.
+     */
+    void setTraceWriter(obs::TraceWriter *writer);
+
   private:
     std::vector<NodeStatus> gatherStatuses() const;
     void applyMigration(const MigrationDecision &decision,
@@ -375,6 +406,27 @@ class Cluster
     std::vector<std::string> nodeNames;
     std::vector<std::unique_ptr<colo::Engine>> engines;
     bool ran = false;
+
+    /** Cluster-layer metric handles (registered at construction). */
+    struct MetricIds
+    {
+        obs::MetricId epochs = 0;
+        obs::MetricId migrations = 0;
+        obs::MetricId budgetAllocs = 0;
+        obs::MetricId epochWall = 0;
+        obs::MetricId poolSubmitted = 0;
+        obs::MetricId poolExecuted = 0;
+        obs::MetricId poolDepthMax = 0;
+        obs::MetricId poolDepthMean = 0;
+        obs::MetricId poolJobWallMean = 0;
+        obs::MetricId poolJobWallMax = 0;
+    };
+
+    /** Cluster-layer registry (null = obs off). */
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    MetricIds mid;
+    /** Span-trace writer (non-owning; null = no tracing). */
+    obs::TraceWriter *tracer = nullptr;
 };
 
 /**

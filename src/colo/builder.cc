@@ -157,6 +157,20 @@ ConfigBuilder::admission(pliant::admission::AdmissionKind policy,
     return *this;
 }
 
+ConfigBuilder &
+ConfigBuilder::observability(obs::ObsConfig obs_cfg)
+{
+    cfg.observability = obs_cfg;
+    return *this;
+}
+
+ConfigBuilder &
+ConfigBuilder::observability(bool metrics)
+{
+    cfg.observability.metrics = metrics;
+    return *this;
+}
+
 ColoConfig
 ConfigBuilder::build() const
 {

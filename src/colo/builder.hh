@@ -110,6 +110,16 @@ class ConfigBuilder
                   pliant::admission::BatchingKind::None);
 
     /**
+     * Observability knobs (metrics registry, opt-in tick-phase
+     * spans). Default-off; a disabled config runs the exact pre-obs
+     * code path.
+     */
+    ConfigBuilder &observability(obs::ObsConfig cfg);
+
+    /** Enable the metrics registry with default knobs. */
+    ConfigBuilder &observability(bool metrics = true);
+
+    /**
      * Validate and return the config. Throws util::FatalError with
      * the first problem found (duplicate tenants/apps, unknown
      * catalog names, out-of-range variants, fair-core starvation).

@@ -1,6 +1,7 @@
 #include "colo/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "approx/profile.hh"
@@ -393,6 +394,70 @@ Engine::Engine(ColoConfig config)
     partial.qosUs = tenants[0].service->qosUs();
     partial.admissionEnabled = cfg.admission.enabled;
     partial.rosterChanges.push_back({0, cfg.apps});
+
+    // Observability: register the full fixed metric roster whether or
+    // not admission/budget are in play, so every enabled run exports
+    // the same metric set and tooling can diff exports structurally.
+    // Registration happens here (allocating) and the registry is
+    // frozen before the first tick, keeping the warmed loop
+    // allocation-free.
+    if (cfg.observability.metrics) {
+        metrics =
+            std::make_unique<obs::MetricsRegistry>(team->width());
+        mid.ticks = metrics->counter("engine.ticks");
+        mid.intervals = metrics->counter("engine.intervals");
+        mid.samples = metrics->counter("engine.samples");
+        for (int k = 0; k < 7; ++k)
+            mid.decisions[k] = metrics->counter(
+                "engine.decision." +
+                core::decisionName(
+                    static_cast<core::Decision::Kind>(k)));
+        mid.actuations = metrics->counter("engine.actuations");
+        mid.qosMet = metrics->counter("engine.qos_met_intervals");
+        mid.qosViolated =
+            metrics->counter("engine.qos_violated_intervals");
+        mid.intervalP99Hist = metrics->histogram(
+            "engine.interval_p99_us_hist", 10.0, 1.25, 48);
+        mid.intervalP99Stat = metrics->stat("engine.interval_p99_us");
+        mid.shedFraction = metrics->stat("admission.shed_fraction");
+        mid.queueDelay = metrics->stat("admission.queue_delay_us");
+        mid.gateArms = metrics->gauge("admission.gate_arms");
+        mid.gateReleases = metrics->gauge("admission.gate_releases");
+        mid.budgetQuality = metrics->stat("budget.quality_used");
+        mid.budgetSlices = metrics->counter("budget.slice_installs");
+        mid.arenaOverflows = metrics->gauge("arena.overflows");
+        mid.teamItems = metrics->gauge("team.items");
+        mid.teamLaunches = metrics->gauge(
+            "team.launches", obs::Stability::LaneDependent);
+        mid.teamParks =
+            metrics->gauge("team.parks", obs::Stability::WallTime);
+        mid.teamWidth = metrics->gauge("team.width",
+                                       obs::Stability::LaneDependent);
+        mid.phasePrelude = metrics->stat("phase.prelude_wall_s",
+                                         obs::Stability::WallTime);
+        mid.phaseTenants = metrics->stat("phase.tenants_wall_s",
+                                         obs::Stability::WallTime);
+        mid.phaseTasks = metrics->stat("phase.tasks_wall_s",
+                                       obs::Stability::WallTime);
+        mid.phaseInterval = metrics->stat("phase.interval_wall_s",
+                                          obs::Stability::WallTime);
+        metrics->freeze();
+        partial.obsEnabled = true;
+    }
+    gateWasArmed.assign(tenants.size(), false);
+}
+
+void
+Engine::setTrace(obs::TraceWriter *writer, int pid)
+{
+    tracer = writer;
+    tracePid = pid;
+    if (!tracer)
+        return;
+    tracer->threadName(tracePid, 0, "decision-intervals");
+    tracer->threadName(tracePid, 1, "events");
+    if (cfg.observability.traceTickPhases)
+        tracer->threadName(tracePid, 2, "tick-phases");
 }
 
 void
@@ -494,6 +559,16 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
             break;
         const sim::Time tick_start = clock.now();
 
+        // Phase wall timers: steady_clock is read only when someone
+        // consumes the readings (metrics or opt-in phase spans), so
+        // the disabled path executes exactly the pre-obs loop.
+        const bool time_phases =
+            metrics != nullptr ||
+            (tracer && cfg.observability.traceTickPhases);
+        std::chrono::steady_clock::time_point tw0, tw1, tw2;
+        if (time_phases)
+            tw0 = std::chrono::steady_clock::now();
+
         // 0. Scenario layer: re-target every tenant's mean load.
         //    Tenants with an admission front-end defer: their
         //    service sees the *dispatched* load, computed below once
@@ -514,6 +589,9 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
             taskPressure[i] = tasks[i].currentPressure();
         for (std::size_t s = 0; s < tenants.size(); ++s)
             svcPressure[s] = tenants[s].service->currentPressure();
+
+        if (time_phases)
+            tw1 = std::chrono::steady_clock::now();
 
         // 2. Per-tenant phase, fanned out across the tick team
         //    (inline at the default width of 1). For each tenant:
@@ -567,10 +645,48 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
                     ten.steady.add(sample);
             }
             ten.lastLoad = ten.tickBuf.offeredLoad;
+            // Lane-sharded sample counter: the per-lane partial sums
+            // fold to the same total at any team width.
+            if (metrics)
+                metrics->add(mid.samples, lane,
+                             ten.tickBuf.sampleUs.size());
         });
+
+        if (time_phases)
+            tw2 = std::chrono::steady_clock::now();
 
         for (auto &t : tasks)
             t.tick(cfg.tick);
+
+        if (time_phases) {
+            const auto tw3 = std::chrono::steady_clock::now();
+            const double prelude_s =
+                std::chrono::duration<double>(tw1 - tw0).count();
+            const double tenants_s =
+                std::chrono::duration<double>(tw2 - tw1).count();
+            const double tasks_s =
+                std::chrono::duration<double>(tw3 - tw2).count();
+            if (metrics) {
+                metrics->add(mid.ticks, 0);
+                metrics->record(mid.phasePrelude, prelude_s);
+                metrics->record(mid.phaseTenants, tenants_s);
+                metrics->record(mid.phaseTasks, tasks_s);
+            }
+            // Phase spans carry simulated timestamps (B and E at the
+            // tick's simulated time) with the measured wall time in
+            // args, so the trace layout stays deterministic.
+            if (tracer && cfg.observability.traceTickPhases) {
+                tracer->begin(tracePid, 2, "tick.prelude",
+                              tick_start, prelude_s * 1e6);
+                tracer->end(tracePid, 2, "tick.prelude", tick_start);
+                tracer->begin(tracePid, 2, "tick.tenants",
+                              tick_start, tenants_s * 1e6);
+                tracer->end(tracePid, 2, "tick.tenants", tick_start);
+                tracer->begin(tracePid, 2, "tick.tasks", tick_start,
+                              tasks_s * 1e6);
+                tracer->end(tracePid, 2, "tick.tasks", tick_start);
+            }
+        }
 
         const sim::Time now = clock.advance();
 
@@ -579,6 +695,9 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
         if (now >= nextDecision) {
             nextDecision += cfg.decisionInterval;
             ++totalIntervals;
+            std::chrono::steady_clock::time_point iw0;
+            if (metrics)
+                iw0 = std::chrono::steady_clock::now();
             std::size_t focus = 0;
             double worst = -1.0;
             for (std::size_t s = 0; s < tenants.size(); ++s) {
@@ -687,6 +806,68 @@ Engine::advanceUntil(sim::Time until, bool keep_services_running)
             }
             maxWaysSeen = std::max(maxWaysSeen, tp.partitionWays);
 
+            // Observability at the close: all updates come from the
+            // engine thread (lane 0), in tenant order, so every
+            // folded value is thread-count invariant.
+            if (metrics) {
+                metrics->add(mid.intervals, 0);
+                metrics->add(
+                    mid.decisions[static_cast<int>(decision.kind)],
+                    0);
+                if (decision.kind != core::Decision::Kind::None)
+                    metrics->add(mid.actuations, 0);
+                for (std::size_t s = 0; s < tenants.size(); ++s) {
+                    const bool met = reports[s].interval.p99Us <=
+                                     reports[s].qosUs;
+                    metrics->add(met ? mid.qosMet : mid.qosViolated,
+                                 0);
+                    if (cfg.admission.enabled) {
+                        metrics->record(mid.shedFraction,
+                                        reports[s].shedFraction);
+                        metrics->record(mid.queueDelay,
+                                        reports[s].queueDelayUs);
+                    }
+                }
+                metrics->histAdd(mid.intervalP99Hist, 0,
+                                 reports[0].interval.p99Us);
+                metrics->record(mid.intervalP99Stat,
+                                reports[0].interval.p99Us);
+                if (budgetActive)
+                    metrics->record(mid.budgetQuality,
+                                    tp.budgetQualityUsed);
+                metrics->record(
+                    mid.phaseInterval,
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - iw0)
+                        .count());
+            }
+            if (tracer) {
+                // The interval span is emitted whole at the close:
+                // B at the interval's simulated start, E at its end,
+                // so track 0's timestamps stay non-decreasing.
+                tracer->begin(tracePid, 0, "interval", intervalStart);
+                tracer->end(tracePid, 0, "interval", now);
+                if (decision.kind != core::Decision::Kind::None) {
+                    const std::string ev =
+                        "decision:" + core::decisionName(decision.kind);
+                    tracer->instant(tracePid, 1, ev.c_str(), now);
+                }
+                if (cfg.admission.enabled) {
+                    for (std::size_t s = 0; s < tenants.size(); ++s) {
+                        const bool armed =
+                            tenants[s].admission->gateArmed();
+                        if (armed != gateWasArmed[s])
+                            tracer->instant(tracePid, 1,
+                                            armed
+                                                ? "shed-gate-arm"
+                                                : "shed-gate-release",
+                                            now);
+                        gateWasArmed[s] = armed;
+                    }
+                }
+            }
+            intervalStart = now;
+
             if (sink)
                 sink->onPoint(tp);
             if (cfg.retainTimeline)
@@ -759,6 +940,10 @@ Engine::setBudgetSlice(double quality_cap, double shed_cap)
     for (auto &ten : tenants)
         if (ten.admission)
             ten.admission->setShedCap(shed_cap);
+    if (metrics)
+        metrics->add(mid.budgetSlices, 0);
+    if (tracer)
+        tracer->instant(tracePid, 1, "budget-slice", clock.now());
 }
 
 double
@@ -878,6 +1063,42 @@ Engine::finalize()
         out.dynrecOverhead = tasks[i].profile().dynrecOverhead;
         out.maxCoresReclaimed = max_reclaimed[i];
         result.apps.push_back(std::move(out));
+    }
+
+    // Snapshot-time gauges, then the folded snapshot itself. Arena
+    // overflow totals are lane-count invariant (each tenant-tick's
+    // single scratch allocation either fits the bump block or not,
+    // regardless of which lane ran it).
+    if (metrics) {
+        std::uint64_t overflows = 0;
+        for (const util::Arena &arena : laneScratch)
+            overflows += arena.overflowCount();
+        metrics->set(mid.arenaOverflows,
+                     static_cast<double>(overflows));
+        if (overflows > 0)
+            util::warn("obs: ", overflows,
+                       " tick-loop scratch allocations overflowed "
+                       "the lane arena block");
+        double arms = 0.0;
+        double releases = 0.0;
+        for (const auto &ten : tenants) {
+            if (!ten.admission)
+                continue;
+            arms += static_cast<double>(ten.admission->gateArms());
+            releases +=
+                static_cast<double>(ten.admission->gateReleases());
+        }
+        metrics->set(mid.gateArms, arms);
+        metrics->set(mid.gateReleases, releases);
+        metrics->set(mid.teamItems,
+                     static_cast<double>(team->totalItems()));
+        metrics->set(mid.teamLaunches,
+                     static_cast<double>(team->totalLaunches()));
+        metrics->set(mid.teamParks,
+                     static_cast<double>(team->totalParks()));
+        metrics->set(mid.teamWidth,
+                     static_cast<double>(team->width()));
+        result.metrics = metrics->snapshot();
     }
     return result;
 }

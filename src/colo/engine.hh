@@ -31,6 +31,8 @@
 #include "core/monitor.hh"
 #include "core/runtime.hh"
 #include "driver/sweep.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "server/interference.hh"
 #include "server/partition.hh"
 #include "server/spec.hh"
@@ -181,6 +183,18 @@ struct ColoConfig
      * are O(migrations), not O(intervals).
      */
     bool retainTimeline = true;
+
+    /**
+     * Observability knobs (src/obs/): a metrics registry recording
+     * deterministic simulation counters plus wall-time profiling,
+     * and span tracing via Engine::setTrace(). Default-off, and off
+     * is byte-identical to an engine without the subsystem: no
+     * registry is constructed, no instrumentation branch taken, no
+     * RNG stream touched (pinned by regression tests). With metrics
+     * on, every metric not tagged wall_time is exactly equal at any
+     * engineThreads / pool-thread count.
+     */
+    obs::ObsConfig observability;
 };
 
 /** One service's slice of a sampled timeline point. */
@@ -293,6 +307,16 @@ struct ColoResult
      * budget-less runs stay byte-identical.
      */
     bool budgetEnabled = false;
+
+    /**
+     * Whether the observability subsystem ran. Output writers key
+     * the obs rollup columns on this (the admission/budget
+     * pattern), so obs-off runs stay byte-identical.
+     */
+    bool obsEnabled = false;
+
+    /** Folded metrics snapshot (empty when obs is off). */
+    obs::MetricsSnapshot metrics;
 
     /**
      * Budget rollups (neutral without a slice): mean quality-in-use
@@ -482,6 +506,28 @@ class Engine
     void setTimelineSink(TimelineSink *sink);
 
     /**
+     * Attach a span-trace writer (null detaches). Non-owning; must
+     * outlive the run. `pid` is the Chrome-trace process id this
+     * engine's tracks live under (the cluster assigns node i pid
+     * i + 1 and keeps pid 0 for itself). Emits track-name metadata
+     * on attach. Tracing is independent of
+     * cfg.observability.metrics; with no writer attached the tick
+     * loop takes the exact pre-obs path.
+     */
+    void setTrace(obs::TraceWriter *writer, int pid = 0);
+
+    /**
+     * The live metrics registry (null when
+     * cfg.observability.metrics is off). Exposed for tests and the
+     * cluster's node-order fold; snapshot() is safe between
+     * advanceUntil() chunks.
+     */
+    const obs::MetricsRegistry *metricsRegistry() const
+    {
+        return metrics.get();
+    }
+
+    /**
      * Budget hook: install this node's slice of the cluster-wide
      * quality and shed budgets (see budget::Controller). Called at
      * epoch barriers, between advanceUntil() chunks: the runtime
@@ -639,6 +685,51 @@ class Engine
     int maxWaysSeen = 0;
     /** Streaming consumer (non-owning; null = none). */
     TimelineSink *sink = nullptr;
+
+    // --- observability (all null/empty when disabled) ---
+    /**
+     * Metric handles, registered once at construction. Counters
+     * touched inside the parallel tenant phase are lane-sharded;
+     * everything else is written from the engine thread only.
+     */
+    struct MetricIds
+    {
+        obs::MetricId ticks = 0;
+        obs::MetricId intervals = 0;
+        obs::MetricId samples = 0;
+        obs::MetricId decisions[7] = {};
+        obs::MetricId actuations = 0;
+        obs::MetricId qosMet = 0;
+        obs::MetricId qosViolated = 0;
+        obs::MetricId intervalP99Hist = 0;
+        obs::MetricId intervalP99Stat = 0;
+        obs::MetricId shedFraction = 0;
+        obs::MetricId queueDelay = 0;
+        obs::MetricId gateArms = 0;
+        obs::MetricId gateReleases = 0;
+        obs::MetricId budgetQuality = 0;
+        obs::MetricId budgetSlices = 0;
+        obs::MetricId arenaOverflows = 0;
+        obs::MetricId teamItems = 0;
+        obs::MetricId teamLaunches = 0;
+        obs::MetricId teamParks = 0;
+        obs::MetricId teamWidth = 0;
+        obs::MetricId phasePrelude = 0;
+        obs::MetricId phaseTenants = 0;
+        obs::MetricId phaseTasks = 0;
+        obs::MetricId phaseInterval = 0;
+    };
+
+    /** Registry (null = obs off: the exact pre-obs tick loop). */
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    MetricIds mid;
+    /** Span-trace writer (non-owning; null = no tracing). */
+    obs::TraceWriter *tracer = nullptr;
+    int tracePid = 0;
+    /** Per-tenant shed-gate state last seen by the tracer. */
+    std::vector<bool> gateWasArmed;
+    /** Simulated start of the currently open decision interval. */
+    sim::Time intervalStart = 0;
     /** Hot-loop buffers, allocated once (see run loop comment). */
     std::vector<approx::PressureVector> taskPressure;
     std::vector<approx::PressureVector> svcPressure;

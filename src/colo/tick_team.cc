@@ -41,7 +41,8 @@ oversubscribed()
 
 template <typename Word, typename Pred>
 void
-TickTeam::spinThenWait(std::atomic<Word> &word, Pred &&done)
+TickTeam::spinThenWait(std::atomic<Word> &word, Pred &&done,
+                       std::atomic<std::uint64_t> *parks)
 {
     if (!oversubscribed()) {
         for (int i = 0; i < kSpinIters; ++i) {
@@ -65,12 +66,13 @@ TickTeam::spinThenWait(std::atomic<Word> &word, Pred &&done)
         const Word cur = word.load(std::memory_order_acquire);
         if (done(cur))
             return;
+        parks->fetch_add(1, std::memory_order_relaxed);
         word.wait(cur, std::memory_order_relaxed);
     }
 }
 
 TickTeam::TickTeam(unsigned width)
-    : lanes(width == 0 ? 1 : width), errors(lanes)
+    : lanes(width == 0 ? 1 : width), errors(lanes), counters(lanes)
 {
     if (lanes > 512)
         util::fatal("TickTeam width ", width,
@@ -117,6 +119,8 @@ TickTeam::launchAndWait()
     generation.notify_all();
 
     // Lane 0 is the calling thread.
+    counters[0].launches += 1;
+    counters[0].items += tileEnd(items, lanes, 0);
     try {
         invoke(body, tileBegin(items, lanes, 0),
                tileEnd(items, lanes, 0), 0);
@@ -127,7 +131,8 @@ TickTeam::launchAndWait()
     // Barrier: wait for every helper lane. The acquire load pairs
     // with the workers' release decrements, ordering their writes to
     // item state before the caller's post-run() reads.
-    spinThenWait(pending, [](unsigned v) { return v == 0; });
+    spinThenWait(pending, [](unsigned v) { return v == 0; },
+                 &counters[0].parks);
 
     for (auto &err : errors)
         if (err)
@@ -137,14 +142,19 @@ TickTeam::launchAndWait()
 void
 TickTeam::workerLoop(unsigned lane)
 {
+    util::setLogLane(static_cast<int>(lane));
     std::uint32_t seen = 0;
     for (;;) {
         spinThenWait(generation,
-                     [seen](std::uint32_t v) { return v != seen; });
+                     [seen](std::uint32_t v) { return v != seen; },
+                     &counters[lane].parks);
         seen = generation.load(std::memory_order_acquire);
         if (stopping.load(std::memory_order_acquire))
             return;
 
+        counters[lane].launches += 1;
+        counters[lane].items += tileEnd(items, lanes, lane) -
+                                tileBegin(items, lanes, lane);
         try {
             invoke(body, tileBegin(items, lanes, lane),
                    tileEnd(items, lanes, lane), lane);
@@ -155,6 +165,33 @@ TickTeam::workerLoop(unsigned lane)
         if (pending.fetch_sub(1, std::memory_order_release) == 1)
             pending.notify_one();
     }
+}
+
+std::uint64_t
+TickTeam::totalItems() const
+{
+    std::uint64_t total = 0;
+    for (const LaneCounters &c : counters)
+        total += c.items;
+    return total;
+}
+
+std::uint64_t
+TickTeam::totalLaunches() const
+{
+    std::uint64_t total = 0;
+    for (const LaneCounters &c : counters)
+        total += c.launches;
+    return total;
+}
+
+std::uint64_t
+TickTeam::totalParks() const
+{
+    std::uint64_t total = 0;
+    for (const LaneCounters &c : counters)
+        total += c.parks.load(std::memory_order_relaxed);
+    return total;
 }
 
 } // namespace colo

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <thread>
 #include <type_traits>
@@ -52,6 +53,40 @@ class TickTeam
 
     unsigned width() const { return lanes; }
 
+    /**
+     * Per-lane utilization counters, maintained unconditionally
+     * (two increments per lane per run(); the obs layer surfaces
+     * them as metrics when enabled). Each lane writes only its own
+     * cache-line-sized entry; the run() barrier orders helper-lane
+     * writes before the caller's reads, so reading the totals
+     * between runs from the lane-0 thread is race-free.
+     */
+    struct LaneCounters
+    {
+        alignas(64) std::uint64_t launches = 0; ///< run() entries
+        std::uint64_t items = 0;                ///< items processed
+        /**
+         * Futex waits. Atomic (relaxed) because a helper lane may
+         * already be counting its park for the NEXT generation
+         * while the lane-0 thread reads totals between runs;
+         * launches/items are only touched strictly inside the
+         * barrier window, so they stay plain words.
+         */
+        std::atomic<std::uint64_t> parks{0};
+    };
+
+    const LaneCounters &laneCounters(unsigned lane) const
+    {
+        return counters[lane];
+    }
+
+    /** Items processed, summed in lane order (= Σ run() n's). */
+    std::uint64_t totalItems() const;
+    /** Lane launches, summed in lane order (lanes × run() calls). */
+    std::uint64_t totalLaunches() const;
+    /** Futex parks, summed in lane order. Wall-time dependent. */
+    std::uint64_t totalParks() const;
+
     /** Static tiling: the item block lane w owns (end exclusive). */
     static std::size_t
     tileBegin(std::size_t n, unsigned width, unsigned lane)
@@ -78,6 +113,8 @@ class TickTeam
     {
         using Body = std::remove_reference_t<Fn>;
         if (lanes == 1 || n == 0) {
+            counters[0].launches += 1;
+            counters[0].items += n;
             for (std::size_t i = 0; i < n; ++i)
                 fn(i, 0U);
             return;
@@ -97,14 +134,20 @@ class TickTeam
     void launchAndWait();
     void workerLoop(unsigned lane);
 
-    /** Bounded spin on a predicate, then park on the atomic word. */
+    /**
+     * Bounded spin on a predicate, then park on the atomic word;
+     * each actual park bumps *parks (the caller's own lane entry).
+     */
     template <typename Word, typename Pred>
-    static void spinThenWait(std::atomic<Word> &word, Pred &&changed);
+    static void spinThenWait(std::atomic<Word> &word, Pred &&changed,
+                             std::atomic<std::uint64_t> *parks);
 
     unsigned lanes;
     std::vector<std::thread> workers;
     /** Per-lane captured exceptions; rethrown in lane order. */
     std::vector<std::exception_ptr> errors;
+    /** Per-lane utilization counters (each lane owns its entry). */
+    std::vector<LaneCounters> counters;
 
     // --- barrier state ---
     /**

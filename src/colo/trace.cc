@@ -179,6 +179,17 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
         header.push_back("node_quality_slice");
         header.push_back("node_shed_slice");
     }
+    // Observability rollups follow the admission/budget only-when-on
+    // column policy: a run without obs prints the exact pre-obs
+    // bytes (pinned by regression tests).
+    if (result.obsEnabled) {
+        header.push_back("obs_ticks");
+        header.push_back("obs_intervals");
+        header.push_back("obs_samples");
+        header.push_back("obs_actuations");
+        header.push_back("obs_qos_met_intervals");
+        header.push_back("obs_arena_overflows");
+    }
     csv.writeRow(header);
     double inacc = 0.0, rel = 0.0;
     std::string apps;
@@ -216,6 +227,21 @@ writeSummaryCsv(std::ostream &os, const ColoResult &result)
             row.push_back(util::fmt(result.budgetShedUsed, 4));
             row.push_back(util::fmt(result.budgetQualityCap, 5));
             row.push_back(util::fmt(result.budgetShedCap, 4));
+        }
+        if (result.obsEnabled) {
+            const auto counter = [&](const char *name) {
+                const obs::MetricValue *m = result.metrics.find(name);
+                return std::to_string(m ? m->count : 0);
+            };
+            row.push_back(counter("engine.ticks"));
+            row.push_back(counter("engine.intervals"));
+            row.push_back(counter("engine.samples"));
+            row.push_back(counter("engine.actuations"));
+            row.push_back(counter("engine.qos_met_intervals"));
+            const obs::MetricValue *overflow =
+                result.metrics.find("arena.overflows");
+            row.push_back(
+                util::fmt(overflow ? overflow->value : 0.0, 0));
         }
         csv.writeRow(row);
     }

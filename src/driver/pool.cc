@@ -1,5 +1,6 @@
 #include "driver/pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -112,6 +113,24 @@ Pool::wait()
     }
 }
 
+Pool::Stats
+Pool::stats()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Stats s;
+    s.submitted = submitted;
+    s.executed = executed;
+    s.maxQueueDepth = depthMax;
+    s.meanQueueDepth =
+        submitted ? static_cast<double>(depthSum) /
+                        static_cast<double>(submitted)
+                  : 0.0;
+    s.jobWallMeanS =
+        executed ? jobWallSumS / static_cast<double>(executed) : 0.0;
+    s.jobWallMaxS = jobWallMaxS;
+    return s;
+}
+
 void
 Pool::workerLoop()
 {
@@ -131,11 +150,16 @@ Pool::workerLoop()
 
         arena.reset();
         std::exception_ptr err;
+        const auto jobStart = std::chrono::steady_clock::now();
         try {
             job();
         } catch (...) {
             err = std::current_exception();
         }
+        const double jobWallS =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - jobStart)
+                .count();
         // Release the capture before reporting idle: a caller may
         // destroy resources the capture references as soon as wait()
         // returns.
@@ -145,6 +169,10 @@ Pool::workerLoop()
             std::lock_guard<std::mutex> lock(mtx);
             if (err && !firstError)
                 firstError = err;
+            ++executed;
+            jobWallSumS += jobWallS;
+            if (jobWallS > jobWallMaxS)
+                jobWallMaxS = jobWallS;
             --inFlight;
             if (queue.empty() && inFlight == 0)
                 cvIdle.notify_all();

@@ -32,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -188,9 +189,34 @@ class Pool
             if (stopping)
                 panicStopped();
             queue.push(std::move(erased));
+            ++submitted;
+            const std::uint64_t depth = queue.size();
+            depthSum += depth;
+            if (depth > depthMax)
+                depthMax = depth;
         }
         cvJob.notify_one();
     }
+
+    /**
+     * Queue-depth / job-latency counters, maintained under the pool
+     * mutex (one extra integer bump per submit, one clock read per
+     * job — negligible at pool-job granularity). Queue depths and
+     * wall times depend on scheduling, so the obs layer tags every
+     * field wall_time.
+     */
+    struct Stats
+    {
+        std::uint64_t submitted = 0; ///< jobs enqueued
+        std::uint64_t executed = 0;  ///< jobs completed
+        std::uint64_t maxQueueDepth = 0;
+        double meanQueueDepth = 0.0; ///< depth seen at submit
+        double jobWallMeanS = 0.0;
+        double jobWallMaxS = 0.0;
+    };
+
+    /** Snapshot the counters (callable any time). */
+    Stats stats();
 
     /**
      * Block until every submitted job has finished. Rethrows the
@@ -229,6 +255,7 @@ class Pool
     {
       public:
         bool empty() const { return count == 0; }
+        std::size_t size() const { return count; }
 
         void
         push(PoolJob job)
@@ -268,6 +295,14 @@ class Pool
     std::size_t inFlight = 0; ///< jobs currently executing
     bool stopping = false;
     std::exception_ptr firstError;
+
+    // --- stats, guarded by mtx ---
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t depthSum = 0;
+    std::uint64_t depthMax = 0;
+    double jobWallSumS = 0.0;
+    double jobWallMaxS = 0.0;
 };
 
 } // namespace driver

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * MetricsRegistry implementation: registration, freezing, the fixed
+ * lane-order fold, snapshot merging, and the JSON/table exporters.
+ */
+
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace obs {
+
+namespace {
+
+/** Pad a lane count so each slot's shard run owns whole cache lines. */
+std::size_t
+paddedLanes(unsigned lanes)
+{
+    constexpr std::size_t kLine = 64 / sizeof(std::uint64_t);
+    return ((lanes + kLine - 1) / kLine) * kLine;
+}
+
+/** Emit a double the way the bench JSON writers do (round-trip). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v)) {
+        const auto old = os.precision(17);
+        os << v;
+        os.precision(old);
+    } else {
+        // JSON has no inf/nan literals; an empty stat's min/max are
+        // the only producers and export as null.
+        os << "null";
+    }
+}
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Stat:
+        return "stat";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+const char *
+stabilityName(Stability stability)
+{
+    switch (stability) {
+    case Stability::Deterministic:
+        return "deterministic";
+    case Stability::LaneDependent:
+        return "lane_dependent";
+    case Stability::WallTime:
+        return "wall_time";
+    }
+    return "?";
+}
+
+std::uint64_t
+MetricValue::histCount() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t b : buckets)
+        total += b;
+    return total;
+}
+
+double
+MetricValue::histQuantile(double q) const
+{
+    // Mirrors util::LogHistogram::quantile over the folded buckets.
+    const std::uint64_t total = histCount();
+    if (total == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    const auto lastRegular = buckets.size() - 2;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen > target) {
+            if (i == 0)
+                return histLo;
+            if (i == buckets.size() - 1)
+                return histLo *
+                       std::pow(histBase,
+                                static_cast<double>(lastRegular));
+            return histLo *
+                   std::pow(histBase, static_cast<double>(i - 1)) *
+                   std::sqrt(histBase);
+        }
+    }
+    return histLo *
+           std::pow(histBase, static_cast<double>(lastRegular));
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const MetricValue &theirs : other.metrics) {
+        MetricValue *mine = nullptr;
+        for (MetricValue &m : metrics)
+            if (m.name == theirs.name) {
+                mine = &m;
+                break;
+            }
+        if (!mine) {
+            metrics.push_back(theirs);
+            continue;
+        }
+        PLIANT_ASSERT(mine->kind == theirs.kind,
+                      "metric kind mismatch in snapshot merge: " +
+                          theirs.name);
+        switch (mine->kind) {
+        case MetricKind::Counter:
+            mine->count += theirs.count;
+            break;
+        case MetricKind::Gauge:
+            mine->value += theirs.value;
+            break;
+        case MetricKind::Stat:
+            mine->stat.merge(theirs.stat);
+            break;
+        case MetricKind::Histogram:
+            PLIANT_ASSERT(mine->buckets.size() ==
+                              theirs.buckets.size(),
+                          "histogram shape mismatch in snapshot "
+                          "merge: " +
+                              theirs.name);
+            for (std::size_t i = 0; i < mine->buckets.size(); ++i)
+                mine->buckets[i] += theirs.buckets[i];
+            break;
+        }
+    }
+}
+
+MetricsRegistry::MetricsRegistry(unsigned lanes)
+    : laneCount(lanes > 0 ? lanes : 1)
+{
+}
+
+MetricId
+MetricsRegistry::registerMetric(std::string name, MetricKind kind,
+                                Stability stability,
+                                std::uint32_t slot)
+{
+    PLIANT_ASSERT(!isFrozen,
+                  "metric registered after freeze: " + name);
+    const auto id = static_cast<MetricId>(names.size());
+    names.push_back(std::move(name));
+    kinds.push_back(kind);
+    stabilities.push_back(stability);
+    slotOf.push_back(slot);
+    return id;
+}
+
+MetricId
+MetricsRegistry::counter(std::string name, Stability stability)
+{
+    return registerMetric(std::move(name), MetricKind::Counter,
+                          stability, counterSlots++);
+}
+
+MetricId
+MetricsRegistry::gauge(std::string name, Stability stability)
+{
+    const auto slot = static_cast<std::uint32_t>(gauges.size());
+    gauges.push_back(0.0);
+    return registerMetric(std::move(name), MetricKind::Gauge,
+                          stability, slot);
+}
+
+MetricId
+MetricsRegistry::stat(std::string name, Stability stability)
+{
+    const auto slot = static_cast<std::uint32_t>(stats.size());
+    stats.emplace_back();
+    return registerMetric(std::move(name), MetricKind::Stat,
+                          stability, slot);
+}
+
+MetricId
+MetricsRegistry::histogram(std::string name, double lo, double base,
+                           std::size_t buckets, Stability stability)
+{
+    const auto slot = static_cast<std::uint32_t>(histSpecs.size());
+    histSpecs.push_back(HistSpec{lo, base, buckets});
+    return registerMetric(std::move(name), MetricKind::Histogram,
+                          stability, slot);
+}
+
+void
+MetricsRegistry::freeze()
+{
+    PLIANT_ASSERT(!isFrozen, "metrics registry frozen twice");
+    isFrozen = true;
+    counterStride = paddedLanes(laneCount);
+    counterShards.assign(counterSlots * counterStride, 0);
+    hists.reserve(histSpecs.size() * laneCount);
+    for (const HistSpec &spec : histSpecs)
+        for (unsigned lane = 0; lane < laneCount; ++lane)
+            hists.emplace_back(spec.lo, spec.base, spec.buckets);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    PLIANT_ASSERT(isFrozen, "snapshot of an unfrozen registry");
+    MetricsSnapshot snap;
+    snap.metrics.reserve(names.size());
+    for (std::size_t id = 0; id < names.size(); ++id) {
+        MetricValue m;
+        m.name = names[id];
+        m.kind = kinds[id];
+        m.stability = stabilities[id];
+        const std::uint32_t slot = slotOf[id];
+        switch (m.kind) {
+        case MetricKind::Counter:
+            // Integer fold in ascending lane order: exact under any
+            // grouping, hence lane/thread-count invariant.
+            for (unsigned lane = 0; lane < laneCount; ++lane)
+                m.count +=
+                    counterShards[slot * counterStride + lane];
+            break;
+        case MetricKind::Gauge:
+            m.value = gauges[slot];
+            break;
+        case MetricKind::Stat:
+            m.stat = stats[slot];
+            break;
+        case MetricKind::Histogram: {
+            const HistSpec &spec = histSpecs[slot];
+            m.histLo = spec.lo;
+            m.histBase = spec.base;
+            m.buckets.assign(spec.buckets + 2, 0);
+            for (unsigned lane = 0; lane < laneCount; ++lane) {
+                const auto &shard =
+                    hists[slot * laneCount + lane].buckets();
+                for (std::size_t i = 0; i < shard.size(); ++i)
+                    m.buckets[i] += shard[i];
+            }
+            break;
+        }
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    return snap;
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap)
+{
+    os << "{\n  \"schema\": \"pliant-metrics-v1\",\n"
+       << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+        const MetricValue &m = snap.metrics[i];
+        os << "    {\"name\": ";
+        jsonString(os, m.name);
+        os << ", \"kind\": \"" << kindName(m.kind)
+           << "\", \"stability\": \"" << stabilityName(m.stability)
+           << "\"";
+        switch (m.kind) {
+        case MetricKind::Counter:
+            os << ", \"count\": " << m.count;
+            break;
+        case MetricKind::Gauge:
+            os << ", \"value\": ";
+            jsonNumber(os, m.value);
+            break;
+        case MetricKind::Stat:
+            os << ", \"count\": " << m.stat.count() << ", \"mean\": ";
+            jsonNumber(os, m.stat.mean());
+            os << ", \"stddev\": ";
+            jsonNumber(os, m.stat.stddev());
+            os << ", \"min\": ";
+            jsonNumber(os, m.stat.min());
+            os << ", \"max\": ";
+            jsonNumber(os, m.stat.max());
+            os << ", \"sum\": ";
+            jsonNumber(os, m.stat.sum());
+            break;
+        case MetricKind::Histogram:
+            os << ", \"count\": " << m.histCount()
+               << ", \"p50\": ";
+            jsonNumber(os, m.histQuantile(0.50));
+            os << ", \"p99\": ";
+            jsonNumber(os, m.histQuantile(0.99));
+            os << ", \"lo\": ";
+            jsonNumber(os, m.histLo);
+            os << ", \"base\": ";
+            jsonNumber(os, m.histBase);
+            os << ", \"buckets\": [";
+            for (std::size_t b = 0; b < m.buckets.size(); ++b)
+                os << (b ? ", " : "") << m.buckets[b];
+            os << "]";
+            break;
+        }
+        os << "}" << (i + 1 < snap.metrics.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+util::TextTable
+metricsTable(const MetricsSnapshot &snap)
+{
+    util::TextTable table({"metric", "kind", "stability", "value"});
+    for (const MetricValue &m : snap.metrics) {
+        std::string value;
+        switch (m.kind) {
+        case MetricKind::Counter:
+            value = std::to_string(m.count);
+            break;
+        case MetricKind::Gauge:
+            value = util::fmt(m.value, 4);
+            break;
+        case MetricKind::Stat:
+            value = "n=" + std::to_string(m.stat.count()) +
+                    " mean=" + util::fmt(m.stat.mean(), 4) +
+                    " max=" + util::fmt(m.stat.max(), 4);
+            break;
+        case MetricKind::Histogram:
+            value = "n=" + std::to_string(m.histCount()) +
+                    " p50=" + util::fmt(m.histQuantile(0.50), 1) +
+                    " p99=" + util::fmt(m.histQuantile(0.99), 1);
+            break;
+        }
+        table.addRow({m.name, kindName(m.kind),
+                      stabilityName(m.stability), value});
+    }
+    return table;
+}
+
+} // namespace obs
+} // namespace pliant

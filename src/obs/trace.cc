@@ -1,0 +1,103 @@
+/**
+ * @file
+ * TraceWriter implementation: one JSON object per trace_event,
+ * streamed under a mutex, with a single logged warning when the
+ * sink stream goes bad (backpressure / disk-full) after which
+ * events are dropped rather than corrupting the file.
+ */
+
+#include "obs/trace.hh"
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace obs {
+
+TraceWriter::TraceWriter(std::ostream &os) : out(os)
+{
+    out << "[\n";
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void
+TraceWriter::finish()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (finished)
+        return;
+    finished = true;
+    out << "\n]\n";
+    out.flush();
+}
+
+void
+TraceWriter::processName(int pid, const std::string &name)
+{
+    emit('M', pid, 0, "process_name", 0, -1.0, true, &name);
+}
+
+void
+TraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    emit('M', pid, tid, "thread_name", 0, -1.0, true, &name);
+}
+
+void
+TraceWriter::begin(int pid, int tid, const char *name, sim::Time ts,
+                   double wallUs)
+{
+    emit('B', pid, tid, name, ts, wallUs, false, nullptr);
+}
+
+void
+TraceWriter::end(int pid, int tid, const char *name, sim::Time ts,
+                 double wallUs)
+{
+    emit('E', pid, tid, name, ts, wallUs, false, nullptr);
+}
+
+void
+TraceWriter::instant(int pid, int tid, const char *name,
+                     sim::Time ts)
+{
+    emit('i', pid, tid, name, ts, -1.0, false, nullptr);
+}
+
+void
+TraceWriter::emit(char phase, int pid, int tid, const char *name,
+                  sim::Time ts, double wallUs, bool meta,
+                  const std::string *metaArg)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (finished)
+        return;
+    if (!out.good()) {
+        if (!warnedBackpressure) {
+            warnedBackpressure = true;
+            util::warn("obs: trace sink stream failed; dropping "
+                       "further trace events");
+        }
+        return;
+    }
+    if (!first)
+        out << ",\n";
+    first = false;
+    ++events;
+    out << "{\"name\": \"" << name << "\", \"ph\": \"" << phase
+        << "\", \"ts\": " << ts << ", \"pid\": " << pid
+        << ", \"tid\": " << tid;
+    if (meta && metaArg) {
+        out << ", \"args\": {\"name\": \"" << *metaArg << "\"}";
+    } else if (phase == 'i') {
+        out << ", \"s\": \"t\"";
+    } else if (wallUs >= 0.0) {
+        const auto old = out.precision(17);
+        out << ", \"args\": {\"wall_us\": " << wallUs << "}";
+        out.precision(old);
+    }
+    out << "}";
+}
+
+} // namespace obs
+} // namespace pliant

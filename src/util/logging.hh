@@ -8,6 +8,7 @@
 #ifndef PLIANT_UTIL_LOGGING_HH
 #define PLIANT_UTIL_LOGGING_HH
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -22,6 +23,52 @@ enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
 /** Global log level (default Warn; benches may raise it). */
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/**
+ * One log record as handed to a sink. Timestamps come from
+ * std::chrono::steady_clock (monotonic, ns); threadId is a small
+ * dense id assigned on a thread's first log; lane is the engine /
+ * tick-team lane the thread last announced via setLogLane(), or -1
+ * for threads outside a lane.
+ */
+struct LogRecord
+{
+    LogLevel level = LogLevel::Info;
+    std::string tag;
+    std::string msg;
+    std::uint64_t monotonicNs = 0;
+    std::uint32_t threadId = 0;
+    int lane = -1;
+};
+
+/**
+ * Pluggable log destination. Sinks are called with the emit mutex
+ * held, so a sink needs no synchronization of its own — the same
+ * no-interleaving guarantee the default stderr sink always had.
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    virtual void write(const LogRecord &record) = 0;
+};
+
+/**
+ * Install a sink (non-owning; must outlive its installation).
+ * Passing null restores the default stderr sink, whose output
+ * format — `[tag] msg` — is unchanged from the pre-sink logger.
+ * @return the previously installed sink (null for the default).
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** Dense id of the calling thread (assigned on first use). */
+std::uint32_t logThreadId();
+
+/** Tag the calling thread with an engine lane id (-1 clears). */
+void setLogLane(int lane);
+
+/** The calling thread's announced lane id, or -1. */
+int logLane();
 
 namespace detail {
 void emit(LogLevel level, const std::string &tag, const std::string &msg);

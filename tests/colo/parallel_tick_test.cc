@@ -356,4 +356,38 @@ TEST(ParallelTickTest, WarmTickLoopPerformsZeroHeapAllocations)
         << " times between 10.2s and 10.9s";
 }
 
+TEST(ParallelTickTest, WarmTickLoopStaysZeroAllocWithMetricsEnabled)
+{
+    // The observability contract: the registry allocates at
+    // construction (registration + freeze pin the shards) and at
+    // snapshot, never per update. Same window as the test above, now
+    // with counters/stats/phase timers recording every tick.
+    const ColoConfig cfg =
+        ConfigBuilder()
+            .service("mc-a", services::ServiceKind::Memcached,
+                     Scenario::constant(0.70))
+            .service("mc-b", services::ServiceKind::Memcached,
+                     Scenario::constant(0.60))
+            .service("ng", services::ServiceKind::Nginx,
+                     Scenario::constant(0.55))
+            .apps({"canneal", "bayesian"})
+            .runtime(core::RuntimeKind::Pliant)
+            .seed(5)
+            .engineThreads(2)
+            .observability(true)
+            .build();
+    Engine engine(cfg);
+    engine.advanceUntil(sim::Time(10.2 * kS));
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    engine.advanceUntil(sim::Time(10.9 * kS));
+    const std::uint64_t after =
+        g_allocations.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0U)
+        << "metrics-enabled warm tick loop allocated "
+        << (after - before) << " times between 10.2s and 10.9s";
+}
+
 } // namespace

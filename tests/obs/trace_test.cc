@@ -1,0 +1,157 @@
+/**
+ * @file
+ * obs::TraceWriter: well-formed trace_event JSON, span
+ * nesting/ordering, metadata events, the wall_us payload, and the
+ * single-warning backpressure path when the sink stream fails.
+ */
+
+#include "obs/trace.hh"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace pliant {
+namespace obs {
+namespace {
+
+/** Count non-overlapping occurrences of `needle` in `hay`. */
+std::size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(TraceWriterTest, EmitsBalancedNestedSpans)
+{
+    std::ostringstream os;
+    {
+        TraceWriter tracer(os);
+        tracer.threadName(0, 0, "intervals");
+        tracer.begin(0, 0, "outer", 100);
+        tracer.begin(0, 0, "inner", 150);
+        tracer.end(0, 0, "inner", 200);
+        tracer.instant(0, 1, "decision:step-down", 210);
+        tracer.end(0, 0, "outer", 300);
+        EXPECT_EQ(tracer.eventCount(), 6U);
+    } // destructor closes the array
+    const std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(countOf(json, "\"ph\": \"B\""), 2U);
+    EXPECT_EQ(countOf(json, "\"ph\": \"E\""), 2U);
+    EXPECT_EQ(countOf(json, "\"ph\": \"i\""), 1U);
+    EXPECT_EQ(countOf(json, "\"ph\": \"M\""), 1U);
+    // Nesting order in the stream: outer-B, inner-B, inner-E, outer-E.
+    const std::size_t ob = json.find("\"name\": \"outer\"");
+    const std::size_t ib = json.find("\"name\": \"inner\"");
+    const std::size_t ie = json.find("\"name\": \"inner\"", ib + 1);
+    const std::size_t oe = json.find("\"name\": \"outer\"", ob + 1);
+    EXPECT_LT(ob, ib);
+    EXPECT_LT(ib, ie);
+    EXPECT_LT(ie, oe);
+    // Instants carry the scope marker Perfetto expects.
+    EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+}
+
+TEST(TraceWriterTest, TimestampsAreSimulatedMicroseconds)
+{
+    std::ostringstream os;
+    TraceWriter tracer(os);
+    tracer.begin(2, 3, "epoch", 5000000);
+    tracer.end(2, 3, "epoch", 10000000);
+    tracer.finish();
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ts\": 5000000, \"pid\": 2, \"tid\": 3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 10000000"), std::string::npos);
+}
+
+TEST(TraceWriterTest, WallClockPayloadRidesInArgs)
+{
+    std::ostringstream os;
+    TraceWriter tracer(os);
+    tracer.begin(0, 2, "tick.tasks", 42, 17.5);
+    tracer.end(0, 2, "tick.tasks", 42);
+    tracer.finish();
+    EXPECT_NE(os.str().find("\"args\": {\"wall_us\": 17.5}"),
+              std::string::npos);
+}
+
+TEST(TraceWriterTest, MetadataNamesProcessesAndThreads)
+{
+    std::ostringstream os;
+    TraceWriter tracer(os);
+    tracer.processName(1, "node:alpha");
+    tracer.threadName(1, 0, "decision-intervals");
+    tracer.finish();
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"name\": \"process_name\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"name\": \"node:alpha\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"name\": "
+                        "\"decision-intervals\"}"),
+              std::string::npos);
+}
+
+TEST(TraceWriterTest, FinishClosesArrayAndDropsLaterEvents)
+{
+    std::ostringstream os;
+    TraceWriter tracer(os);
+    tracer.instant(0, 0, "only", 1);
+    tracer.finish();
+    const std::uint64_t at_finish = tracer.eventCount();
+    tracer.instant(0, 0, "dropped", 2);
+    EXPECT_EQ(tracer.eventCount(), at_finish);
+    const std::string json = os.str();
+    EXPECT_EQ(json.find("dropped"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\n]\n"), std::string::npos);
+}
+
+/** Sink capturing records so the backpressure warning is checkable. */
+class CaptureSink : public util::LogSink
+{
+  public:
+    void
+    write(const util::LogRecord &record) override
+    {
+        records.push_back(record);
+    }
+    std::vector<util::LogRecord> records;
+};
+
+TEST(TraceWriterTest, FailedStreamWarnsOnceAndDropsEvents)
+{
+    CaptureSink sink;
+    util::LogSink *prev = util::setLogSink(&sink);
+    std::ostringstream os;
+    TraceWriter tracer(os);
+    tracer.instant(0, 0, "before", 1);
+    os.setstate(std::ios::badbit);
+    tracer.instant(0, 0, "lost-a", 2);
+    tracer.instant(0, 0, "lost-b", 3);
+    EXPECT_EQ(tracer.eventCount(), 1U);
+    os.clear();
+    tracer.finish();
+    util::setLogSink(prev);
+
+    ASSERT_EQ(sink.records.size(), 1U)
+        << "backpressure must warn exactly once";
+    EXPECT_EQ(sink.records[0].level, util::LogLevel::Warn);
+    EXPECT_NE(sink.records[0].msg.find("trace sink"),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("lost-a"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace pliant
